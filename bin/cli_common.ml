@@ -1,0 +1,108 @@
+(* Shared cmdliner terms: graph family selection and metrics printing. *)
+
+module Digraph = Repro_graph.Digraph
+module Generators = Repro_graph.Generators
+module Metrics = Repro_congest.Metrics
+open Cmdliner
+
+type family =
+  | Path
+  | Cycle
+  | Grid
+  | Ktree
+  | Partial_ktree
+  | Apex
+  | Ring_of_rings
+  | Gnp
+
+let family_conv =
+  let parse = function
+    | "path" -> Ok Path
+    | "cycle" -> Ok Cycle
+    | "grid" -> Ok Grid
+    | "ktree" -> Ok Ktree
+    | "partial-ktree" -> Ok Partial_ktree
+    | "apex" -> Ok Apex
+    | "ring-of-rings" -> Ok Ring_of_rings
+    | "gnp" -> Ok Gnp
+    | s -> Error (`Msg (Printf.sprintf "unknown family %S" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with
+      | Path -> "path"
+      | Cycle -> "cycle"
+      | Grid -> "grid"
+      | Ktree -> "ktree"
+      | Partial_ktree -> "partial-ktree"
+      | Apex -> "apex"
+      | Ring_of_rings -> "ring-of-rings"
+      | Gnp -> "gnp")
+  in
+  Arg.conv (parse, print)
+
+let family_t =
+  Arg.(
+    value
+    & opt family_conv Ktree
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Graph family: path, cycle, grid, ktree, partial-ktree, apex, \
+           ring-of-rings, gnp.")
+
+let n_t = Arg.(value & opt int 64 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of vertices.")
+let k_t = Arg.(value & opt int 3 & info [ "k"; "param" ] ~docv:"K" ~doc:"Treewidth parameter k.")
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let weights_t =
+  Arg.(
+    value & opt int 0
+    & info [ "max-weight" ] ~docv:"W"
+        ~doc:"Random edge weights in 1..W (0 = unit weights).")
+
+let input_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "input" ] ~docv:"FILE"
+        ~doc:"Load the graph from FILE (Io format) instead of generating one.")
+
+let directed_t =
+  Arg.(
+    value & flag
+    & info [ "directed" ] ~doc:"Bidirect the graph with independent weights per direction.")
+
+let build_graph input family n k seed max_weight directed =
+  let base =
+    match input with
+    | Some path -> Repro_graph.Io.load path
+    | None ->
+    match family with
+    | Path -> Generators.path n
+    | Cycle -> Generators.cycle n
+    | Grid ->
+        let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+        Generators.grid side side
+    | Ktree -> Generators.k_tree ~seed n k
+    | Partial_ktree -> Generators.partial_k_tree ~seed n k ~keep:0.6
+    | Apex -> Generators.apex_cliques ~cliques:(max 1 (n / (k + 1))) ~size:k
+    | Ring_of_rings -> Generators.ring_of_rings ~rings:(max 3 (n / 5)) ~ring_size:5
+    | Gnp -> Generators.gnp_connected ~seed n (4.0 /. float_of_int n)
+  in
+  let weighted =
+    if max_weight > 0 then Generators.random_weights ~seed ~max_weight base else base
+  in
+  if directed then
+    Generators.bidirect ~seed ~max_weight:(max 1 max_weight) weighted
+  else weighted
+
+let graph_t =
+  Term.(
+    const build_graph $ input_t $ family_t $ n_t $ k_t $ seed_t $ weights_t $ directed_t)
+
+let print_metrics m =
+  Format.printf "%a@." Metrics.pp m
+
+let print_graph_summary g =
+  Format.printf "%a, diameter %d@." Digraph.pp g
+    (Repro_graph.Traversal.diameter (Digraph.skeleton g))

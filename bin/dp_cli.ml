@@ -1,0 +1,90 @@
+(* Optimal independent set / vertex cover / dominating set / Steiner tree
+   over the distributed tree decomposition (the Li18-style application). *)
+
+module Digraph = Repro_graph.Digraph
+module Metrics = Repro_congest.Metrics
+module Decomposition = Repro_treedec.Decomposition
+module Heuristic = Repro_treedec.Heuristic
+module Nice = Repro_treedec.Nice
+module Build = Repro_treedec.Build
+module Dp = Repro_core.Dp
+open Cmdliner
+
+type problem = Mis | Vc | Domset | Steiner
+
+let problem_conv =
+  let parse = function
+    | "mis" -> Ok Mis
+    | "vc" -> Ok Vc
+    | "domset" -> Ok Domset
+    | "steiner" -> Ok Steiner
+    | s -> Error (`Msg (Printf.sprintf "unknown problem %S" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with Mis -> "mis" | Vc -> "vc" | Domset -> "domset" | Steiner -> "steiner")
+  in
+  Arg.conv (parse, print)
+
+let run g problem terminals width_cap =
+  Cli_common.print_graph_summary g;
+  let metrics = Metrics.create () in
+  let report = Build.decompose g ~metrics in
+  let dec =
+    if Decomposition.width report.Build.decomposition <= width_cap then
+      report.Build.decomposition
+    else begin
+      Format.printf
+        "distributed decomposition width %d exceeds the DP cap %d; using min-fill@."
+        (Decomposition.width report.Build.decomposition)
+        width_cap;
+      Heuristic.min_fill (Digraph.skeleton g)
+    end
+  in
+  let nice = Nice.of_decomposition dec in
+  Format.printf "decomposition width %d, nice form with %d nodes@."
+    (Decomposition.width dec) (Nice.size nice);
+  let show name (r : int Dp.result) =
+    Format.printf "%s = %d@.  witness: {%s}@.  largest DP table: %d words@." name
+      r.Dp.value
+      (String.concat "," (List.map string_of_int r.Dp.witness))
+      r.Dp.table_words
+  in
+  (match problem with
+  | Mis -> show "maximum independent set" (Dp.max_weight_independent_set g nice ~metrics)
+  | Vc -> show "minimum vertex cover" (Dp.min_vertex_cover g nice ~metrics)
+  | Domset -> show "minimum dominating set" (Dp.min_dominating_set g nice ~metrics)
+  | Steiner ->
+      let terminals =
+        if terminals = [] then
+          List.filter (fun v -> v mod 5 = 0) (List.init (Digraph.n g) Fun.id)
+        else terminals
+      in
+      Format.printf "terminals: {%s}@."
+        (String.concat "," (List.map string_of_int terminals));
+      show "minimum Steiner tree weight" (Dp.steiner_tree g nice ~terminals ~metrics));
+  Cli_common.print_metrics metrics
+
+let problem_t =
+  Arg.(
+    value
+    & opt problem_conv Domset
+    & info [ "problem" ] ~docv:"P" ~doc:"Problem: mis, vc, domset, or steiner.")
+
+let terminals_t =
+  Arg.(
+    value & opt_all int []
+    & info [ "terminal" ] ~docv:"V" ~doc:"Steiner terminal (repeatable).")
+
+let width_cap_t =
+  Arg.(
+    value & opt int 8
+    & info [ "width-cap" ] ~docv:"W"
+        ~doc:"Fall back to min-fill when the distributed width exceeds this.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "dp_cli" ~doc:"NP-hard optimization over a tree decomposition")
+    Term.(const run $ Cli_common.graph_t $ problem_t $ terminals_t $ width_cap_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,91 @@
+(* Precompute/query workflow for distance labels.
+
+   precompute: generate (or --input) a graph, run the distributed
+   pipeline (Theorem 1 + Theorem 2) and save every node's label to a
+   file — the "deployment" artifact of a distance labeling scheme.
+
+   query: load a label file and answer distance queries from labels
+   alone, without the graph. *)
+
+module Digraph = Repro_graph.Digraph
+module Metrics = Repro_congest.Metrics
+module Build = Repro_treedec.Build
+module Labeling = Repro_core.Labeling
+module Dl = Repro_core.Dl
+open Cmdliner
+
+let save_labels path labels =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter (fun la -> output_string oc (Labeling.to_string la ^ "\n")) labels)
+
+let load_labels path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let out = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then out := Labeling.of_string line :: !out
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !out))
+
+let precompute g out =
+  Cli_common.print_graph_summary g;
+  let m = Metrics.create () in
+  let report = Build.decompose g ~metrics:m in
+  let labels = Dl.build g report.Build.decomposition ~metrics:m in
+  save_labels out labels;
+  Format.printf "wrote %d labels (max %d words) to %s after %d simulated rounds@."
+    (Array.length labels) (Dl.max_label_words labels) out (Metrics.rounds m)
+
+let query labels_path pairs =
+  let labels = load_labels labels_path in
+  let by_owner = Hashtbl.create (Array.length labels) in
+  Array.iter (fun la -> Hashtbl.replace by_owner (Labeling.owner la) la) labels;
+  List.iter
+    (fun (u, v) ->
+      match (Hashtbl.find_opt by_owner u, Hashtbl.find_opt by_owner v) with
+      | Some la_u, Some la_v ->
+          let d = Labeling.decode la_u la_v in
+          if d >= Digraph.inf then Format.printf "d(%d,%d) = unreachable@." u v
+          else Format.printf "d(%d,%d) = %d@." u v d
+      | _ -> Format.printf "d(%d,%d): unknown vertex@." u v)
+    pairs
+
+let out_t =
+  Arg.(
+    value & opt string "labels.txt"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Label file to write.")
+
+let labels_t =
+  Arg.(
+    value & opt string "labels.txt"
+    & info [ "labels" ] ~docv:"FILE" ~doc:"Label file to read.")
+
+let pairs_t =
+  Arg.(
+    value & pos_all (pair ~sep:',' int int) []
+    & info [] ~docv:"U,V" ~doc:"Query pairs, e.g. 0,7 3,12.")
+
+let precompute_cmd =
+  Cmd.v
+    (Cmd.info "precompute" ~doc:"Build labels for a graph and save them")
+    Term.(const precompute $ Cli_common.graph_t $ out_t)
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer distance queries from a label file")
+    Term.(const query $ labels_t $ pairs_t)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "labels_cli" ~doc:"Distance-labeling precompute/query workflow (Theorem 2)")
+    [ precompute_cmd; query_cmd ]
+
+let () = exit (Cmd.eval cmd)

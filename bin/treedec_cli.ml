@@ -1,0 +1,43 @@
+(* Build a distributed tree decomposition of a generated graph and report
+   width / depth / validity / simulated CONGEST rounds. *)
+
+module Metrics = Repro_congest.Metrics
+module Decomposition = Repro_treedec.Decomposition
+module Heuristic = Repro_treedec.Heuristic
+module Build = Repro_treedec.Build
+open Cmdliner
+
+let run g show_bags =
+  Cli_common.print_graph_summary g;
+  let m = Metrics.create () in
+  let report = Build.decompose g ~metrics:m in
+  let dec = report.Build.decomposition in
+  Format.printf "%a@." Decomposition.pp dec;
+  (match Decomposition.validate dec with
+  | Ok () -> Format.printf "validity: ok@."
+  | Error e -> Format.printf "validity: FAILED (%s)@." e);
+  Format.printf "degeneracy (treewidth lower bound): %d@."
+    (Heuristic.degeneracy (Repro_graph.Digraph.skeleton g));
+  Format.printf "min-fill width (centralized baseline): %d@."
+    (Heuristic.treewidth_upper (Repro_graph.Digraph.skeleton g));
+  Format.printf "max SEP parameter t: %d, recursion levels: %d@." report.Build.max_t
+    report.Build.levels;
+  Cli_common.print_metrics m;
+  if show_bags then
+    List.iter
+      (fun key ->
+        Format.printf "bag [%s]: {%s}@."
+          (String.concat "." (List.map string_of_int key))
+          (String.concat ","
+             (List.map string_of_int (Array.to_list (Decomposition.bag dec key)))))
+      (List.sort compare (Decomposition.keys dec))
+
+let show_bags_t =
+  Arg.(value & flag & info [ "show-bags" ] ~doc:"Print every bag of the decomposition.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "treedec_cli" ~doc:"Distributed tree decomposition (Theorem 1)")
+    Term.(const run $ Cli_common.graph_t $ show_bags_t)
+
+let () = exit (Cmd.eval cmd)

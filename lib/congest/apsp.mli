@@ -1,0 +1,22 @@
+(** Pipelined all-pairs BFS and the unweighted-diameter baseline.
+
+    Every vertex floods a BFS token [(source, dist)]; nodes forward one
+    newly-learned token per edge per round (FIFO), the textbook
+    O(n + D)-round APSP [Holzer-Wattenhofer PODC'12; Peleg-Roditty-Tal
+    ICALP'12]. This is the Θ(n)-round diameter algorithm used as the
+    contrast in the girth-vs-diameter separation experiment (E5b). *)
+
+(** [hop_distances skeleton ~metrics] is the matrix [d.(v).(u)] of hop
+    distances. Rounds charged under ["apsp"]. *)
+val hop_distances : Repro_graph.Digraph.t -> metrics:Metrics.t -> int array array
+
+(** [diameter skeleton ~metrics] runs [hop_distances], then aggregates the
+    maximum eccentricity over a BFS tree. *)
+val diameter : Repro_graph.Digraph.t -> metrics:Metrics.t -> int
+
+(** [diameter_two_approx skeleton ~metrics] is the classic O(D)-round
+    2-approximation: a BFS from an arbitrary root; its eccentricity e
+    satisfies e <= D <= 2e. Returns the eccentricity (the lower bound).
+    Contrast with {!diameter}, which is exact but needs Omega(n) rounds
+    even on constant-diameter low-treewidth graphs (experiment E5b). *)
+val diameter_two_approx : Repro_graph.Digraph.t -> metrics:Metrics.t -> int

@@ -1,0 +1,52 @@
+module Digraph = Repro_graph.Digraph
+
+type state = { dist : int; pending : bool }
+
+module E = Engine.Make (struct
+  type t = int
+
+  let words _ = 1
+end)
+
+let run g ~source ~metrics =
+  let n = Digraph.n g in
+  let skeleton = Digraph.skeleton g in
+  let neighbors = Array.init n (Digraph.neighbors skeleton) in
+  (* weight of the lightest directed edge v -> u, for relaxation on receive *)
+  let w_in = Hashtbl.create (Digraph.m g) in
+  Array.iter
+    (fun e ->
+      let record src dst =
+        let key = (src, dst) in
+        match Hashtbl.find_opt w_in key with
+        | Some w when w <= e.Digraph.weight -> ()
+        | _ -> Hashtbl.replace w_in key e.Digraph.weight
+      in
+      record e.Digraph.src e.Digraph.dst;
+      if not (Digraph.directed g) then record e.Digraph.dst e.Digraph.src)
+    (Digraph.edges g);
+  let step ~round:_ ~node st inbox =
+    let st =
+      List.fold_left
+        (fun st (sender, sender_dist) ->
+          match Hashtbl.find_opt w_in (sender, node) with
+          | Some w when sender_dist + w < st.dist ->
+              { dist = sender_dist + w; pending = true }
+          | _ -> st)
+        st inbox
+    in
+    if st.pending then
+      ( { st with pending = false },
+        Array.to_list (Array.map (fun u -> (u, st.dist)) neighbors.(node)) )
+    else (st, [])
+  in
+  let states =
+    E.run skeleton
+      ~init:(fun v ->
+        if v = source then { dist = 0; pending = true }
+        else { dist = Digraph.inf; pending = false })
+      ~step
+      ~active:(fun st -> st.pending)
+      ~metrics ~label:"bellman-ford" ()
+  in
+  Array.map (fun st -> st.dist) states

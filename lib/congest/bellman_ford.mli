@@ -1,0 +1,9 @@
+(** Distributed Bellman-Ford SSSP — the classic Θ(n)-round CONGEST
+    baseline our distance-labeling algorithm is compared against (E2b).
+
+    Works on weighted directed graphs; messages travel over the skeleton
+    in both directions, relaxation respects edge orientation. *)
+
+(** [run g ~source ~metrics] returns the exact distance array from
+    [source]. Rounds charged under ["bellman-ford"]. *)
+val run : Repro_graph.Digraph.t -> source:int -> metrics:Metrics.t -> int array

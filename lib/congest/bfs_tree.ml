@@ -1,0 +1,49 @@
+module Digraph = Repro_graph.Digraph
+
+type tree = { root : int; parent : int array; dist : int array; depth : int }
+
+type state = { d : int; par : int; pending : bool }
+
+module E = Engine.Make (struct
+  type t = int
+
+  let words _ = 1
+end)
+
+let build skeleton ~root ~metrics =
+  let inf = Digraph.inf in
+  let n = Digraph.n skeleton in
+  let neighbors = Array.init n (Digraph.neighbors skeleton) in
+  let init v =
+    if v = root then { d = 0; par = root; pending = true }
+    else { d = inf; par = -1; pending = false }
+  in
+  (* All offers for a given BFS level arrive in the same round, so taking
+     the smallest (distance, sender) pair in the inbox is deterministic. *)
+  let step ~round:_ ~node st inbox =
+    let st =
+      List.fold_left
+        (fun st (sender, sender_d) ->
+          let cand = sender_d + 1 in
+          if cand < st.d || (cand = st.d && sender < st.par) then
+            { d = cand; par = sender; pending = true }
+          else st)
+        st inbox
+    in
+    if st.pending then
+      ( { st with pending = false },
+        Array.to_list (Array.map (fun u -> (u, st.d)) neighbors.(node)) )
+    else (st, [])
+  in
+  let states =
+    E.run skeleton ~init ~step ~active:(fun st -> st.pending) ~metrics ~label:"bfs-tree" ()
+  in
+  let parent = Array.map (fun st -> st.par) states in
+  let dist = Array.map (fun st -> st.d) states in
+  let depth = Array.fold_left (fun acc d -> if d < inf && d > acc then d else acc) 0 dist in
+  { root; parent; dist; depth }
+
+let children t v =
+  let out = ref [] in
+  Array.iteri (fun u p -> if p = v && u <> v then out := u :: !out) t.parent;
+  List.rev !out

@@ -1,0 +1,19 @@
+(** Distributed BFS-tree construction (message-level).
+
+    Classic flooding: the root announces distance 0; every node adopts the
+    smallest announced distance + 1 and the smallest-id sender at that
+    distance as its parent. Takes eccentricity(root) + O(1) rounds. *)
+
+type tree = {
+  root : int;
+  parent : int array;  (** [parent.(root) = root]; [-1] if unreachable. *)
+  dist : int array;  (** hop distance from the root. *)
+  depth : int;  (** max distance over reachable vertices. *)
+}
+
+(** [build skeleton ~root ~metrics] runs the flood on the communication
+    graph and returns the tree. Rounds are charged under ["bfs-tree"]. *)
+val build : Repro_graph.Digraph.t -> root:int -> metrics:Metrics.t -> tree
+
+(** [children t v] lists the tree children of [v]. O(n) per call. *)
+val children : tree -> int -> int list

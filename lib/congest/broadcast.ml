@@ -1,0 +1,105 @@
+module Digraph = Repro_graph.Digraph
+
+module Word = struct
+  type t = int
+
+  let words _ = 1
+end
+
+module E = Engine.Make (Word)
+
+type flood_state = { value : int option; pending : bool }
+
+let flood skeleton ~root ~value ~metrics =
+  let n = Digraph.n skeleton in
+  let neighbors = Array.init n (Digraph.neighbors skeleton) in
+  let step ~round:_ ~node st inbox =
+    let st =
+      match (st.value, inbox) with
+      | None, (_, v) :: _ -> { value = Some v; pending = true }
+      | _ -> st
+    in
+    if st.pending then
+      ( { st with pending = false },
+        match st.value with
+        | Some v -> Array.to_list (Array.map (fun u -> (u, v)) neighbors.(node))
+        | None -> [] )
+    else (st, [])
+  in
+  let states =
+    E.run skeleton
+      ~init:(fun v ->
+        if v = root then { value = Some value; pending = true }
+        else { value = None; pending = false })
+      ~step
+      ~active:(fun st -> st.pending)
+      ~metrics ~label:"flood" ()
+  in
+  Array.map (fun st -> match st.value with Some v -> v | None -> Digraph.inf) states
+
+type cc_state = { acc : int; waiting : int; sent : bool }
+
+let convergecast tree ~op ~values ~metrics =
+  let n = Array.length tree.Bfs_tree.parent in
+  let child_count = Array.make n 0 in
+  Array.iteri
+    (fun u p -> if p >= 0 && u <> p then child_count.(p) <- child_count.(p) + 1)
+    tree.Bfs_tree.parent;
+  (* The skeleton here is the tree itself: build it as a graph. *)
+  let tree_edges = ref [] in
+  Array.iteri
+    (fun u p -> if p >= 0 && u <> p then tree_edges := (u, p, 1) :: !tree_edges)
+    tree.Bfs_tree.parent;
+  let tree_graph = Digraph.create ~directed:false n !tree_edges in
+  let step ~round:_ ~node st inbox =
+    let st =
+      List.fold_left
+        (fun st (_, v) -> { st with acc = op st.acc v; waiting = st.waiting - 1 })
+        st inbox
+    in
+    if st.waiting = 0 && not st.sent then
+      if node = tree.Bfs_tree.root then ({ st with sent = true }, [])
+      else ({ st with sent = true }, [ (tree.Bfs_tree.parent.(node), st.acc) ])
+    else (st, [])
+  in
+  let states =
+    E.run tree_graph
+      ~init:(fun v -> { acc = values.(v); waiting = child_count.(v); sent = false })
+      ~step
+      ~active:(fun st -> st.waiting = 0 && not st.sent)
+      ~metrics ~label:"convergecast" ()
+  in
+  states.(tree.Bfs_tree.root).acc
+
+type stream_state = { queue : int list; got : int list }
+
+let stream_down tree ~items ~metrics =
+  let n = Array.length tree.Bfs_tree.parent in
+  let children = Array.make n [] in
+  Array.iteri
+    (fun u p -> if p >= 0 && u <> p then children.(p) <- u :: children.(p))
+    tree.Bfs_tree.parent;
+  let tree_edges = ref [] in
+  Array.iteri
+    (fun u p -> if p >= 0 && u <> p then tree_edges := (u, p, 1) :: !tree_edges)
+    tree.Bfs_tree.parent;
+  let tree_graph = Digraph.create ~directed:false n !tree_edges in
+  let step ~round:_ ~node st inbox =
+    let st =
+      List.fold_left (fun st (_, v) -> { queue = st.queue @ [ v ]; got = v :: st.got }) st inbox
+    in
+    match st.queue with
+    | [] -> (st, [])
+    | item :: rest ->
+        ({ st with queue = rest }, List.map (fun c -> (c, item)) children.(node))
+  in
+  let states =
+    E.run tree_graph
+      ~init:(fun v ->
+        if v = tree.Bfs_tree.root then { queue = items; got = List.rev items }
+        else { queue = []; got = [] })
+      ~step
+      ~active:(fun st -> st.queue <> [])
+      ~metrics ~label:"stream" ()
+  in
+  Array.map (fun st -> List.rev st.got) states

@@ -1,0 +1,20 @@
+(** Flooding broadcast, tree convergecast, and pipelined streaming
+    (message-level building blocks for the subgraph operations of
+    Appendix A of the paper). *)
+
+(** [flood skeleton ~root ~value ~metrics] floods a one-word [value];
+    returns what every node learned. O(D) rounds, label ["flood"]. *)
+val flood :
+  Repro_graph.Digraph.t -> root:int -> value:int -> metrics:Metrics.t -> int array
+
+(** [convergecast tree ~op ~values ~metrics] aggregates one word per node
+    up the BFS tree with associative [op]; returns the root's aggregate.
+    O(depth) rounds, label ["convergecast"]. *)
+val convergecast :
+  Bfs_tree.tree -> op:(int -> int -> int) -> values:int array -> metrics:Metrics.t -> int
+
+(** [stream_down tree ~items ~metrics] pipelines a list of one-word items
+    from the root to every node (depth + |items| rounds, label
+    ["stream"]); returns the items received per node (all equal). *)
+val stream_down :
+  Bfs_tree.tree -> items:int list -> metrics:Metrics.t -> int list array

@@ -1,0 +1,18 @@
+(** Message-level connected-component detection by min-id flooding.
+
+    Every masked vertex repeatedly adopts the smallest id heard from a
+    masked neighbor; after O(max component diameter) rounds each
+    component is labeled by its minimum vertex id. This is the direct
+    (shortcut-free) CCD: its round count depends on component diameters,
+    which is exactly the dependence the paper's shortcut-based CCD
+    (Lemma 8, charged in {!Repro_shortcut.Primitives.components})
+    removes. Both are provided so experiments can compare. *)
+
+(** [flood_labels g ~mask ~metrics] returns per-vertex component labels
+    (the minimum id of the component; [-1] outside the mask). Rounds are
+    measured, charged under ["ccd-flood"]. *)
+val flood_labels :
+  Repro_graph.Digraph.t ->
+  mask:bool array ->
+  metrics:Metrics.t ->
+  int array

@@ -1,0 +1,66 @@
+module Digraph = Repro_graph.Digraph
+
+let default_max_words = 4
+
+module type MSG = sig
+  type t
+
+  val words : t -> int
+end
+
+module Make (M : MSG) = struct
+  type inbox = (int * M.t) list
+  type outbox = (int * M.t) list
+
+  let run skeleton ~init ~step ~active ?(max_rounds = 10_000_000) ?(max_words = default_max_words)
+      ~metrics ~label () =
+    if Digraph.directed skeleton then
+      invalid_arg "Engine.run: communication network must be undirected";
+    let n = Digraph.n skeleton in
+    let neighbor_sets =
+      Array.init n (fun v ->
+          let tbl = Hashtbl.create 8 in
+          Array.iter (fun u -> Hashtbl.replace tbl u ()) (Digraph.neighbors skeleton v);
+          tbl)
+    in
+    let states = Array.init n init in
+    let inboxes = Array.make n [] in
+    let round = ref 0 in
+    let in_flight = ref false in
+    let continue () = !in_flight || Array.exists active states in
+    while continue () do
+      if !round >= max_rounds then
+        failwith (Printf.sprintf "Engine.run(%s): exceeded %d rounds" label max_rounds);
+      let next_inboxes = Array.make n [] in
+      let sent_this_round = ref 0 in
+      for v = 0 to n - 1 do
+        let inbox = inboxes.(v) in
+        let st, outbox = step ~round:!round ~node:v states.(v) inbox in
+        states.(v) <- st;
+        let sent_to = Hashtbl.create 4 in
+        List.iter
+          (fun (u, msg) ->
+            if not (Hashtbl.mem neighbor_sets.(v) u) then
+              invalid_arg
+                (Printf.sprintf "Engine.run(%s): node %d sent to non-neighbor %d" label v u);
+            if Hashtbl.mem sent_to u then
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.run(%s): node %d sent two messages to %d in one round" label v u);
+            Hashtbl.add sent_to u ();
+            let w = M.words msg in
+            if w < 1 || w > max_words then
+              invalid_arg
+                (Printf.sprintf "Engine.run(%s): message of %d words (cap %d)" label w max_words);
+            incr sent_this_round;
+            next_inboxes.(u) <- (v, msg) :: next_inboxes.(u))
+          outbox
+      done;
+      Array.blit next_inboxes 0 inboxes 0 n;
+      in_flight := !sent_this_round > 0;
+      Metrics.add_messages metrics !sent_this_round;
+      incr round;
+      Metrics.add metrics ~label 1
+    done;
+    states
+end

@@ -1,0 +1,58 @@
+(** Synchronous message-passing CONGEST engine.
+
+    The communication network is the skeleton [[G]] of the input graph
+    (Section 2.1 of the paper): undirected, simple, unweighted. In each
+    round every node may send one message of at most [max_words] machine
+    words (a word models O(log n) bits) to each neighbor, then receives
+    all messages sent to it in the same round, then computes locally.
+
+    Algorithms are given as a [step] function. The engine enforces the
+    bandwidth constraint and counts rounds and messages into a
+    {!Metrics.t}. *)
+
+module type MSG = sig
+  type t
+
+  (** Size of a message in machine words; must be positive and at most the
+      engine's [max_words]. *)
+  val words : t -> int
+end
+
+module Make (M : MSG) : sig
+  (** Inbox entry: [(sender, message)]. *)
+  type inbox = (int * M.t) list
+
+  (** Outbox entry: [(receiver, message)]. The receiver must be a neighbor
+      in the skeleton. *)
+  type outbox = (int * M.t) list
+
+  (** [run skeleton ~init ~step ~active ~metrics ~label ()] executes the
+      algorithm until no node is active and no message is in flight, or
+      until [max_rounds] elapses (then raises [Failure]).
+
+      - [init v] is node [v]'s initial state.
+      - [step ~round ~node st inbox] returns the new state and outbox.
+        [step] runs for every node in every round (an empty inbox means no
+        messages arrived).
+      - [active st] declares a node that wants another round even if it
+        received nothing (e.g. it still has queued sends).
+      - Rounds consumed are charged to [metrics] under [label].
+
+      @raise Invalid_argument on bandwidth violation (two messages to the
+      same neighbor in one round, oversized message, or send to a
+      non-neighbor). *)
+  val run :
+    Repro_graph.Digraph.t ->
+    init:(int -> 'st) ->
+    step:(round:int -> node:int -> 'st -> inbox -> 'st * outbox) ->
+    active:('st -> bool) ->
+    ?max_rounds:int ->
+    ?max_words:int ->
+    metrics:Metrics.t ->
+    label:string ->
+    unit ->
+    'st array
+end
+
+(** Default message size cap (machine words per message). *)
+val default_max_words : int

@@ -1,0 +1,6 @@
+(** Leader election by min-id flooding. Takes O(D) rounds. *)
+
+(** [elect skeleton ~metrics] returns the elected leader (the minimum
+    vertex id); every simulated node learns it. Rounds charged under
+    ["leader"]. *)
+val elect : Repro_graph.Digraph.t -> metrics:Metrics.t -> int

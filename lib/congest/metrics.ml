@@ -1,0 +1,31 @@
+type t = {
+  mutable rounds : int;
+  mutable messages : int;
+  per_label : (string, int ref) Hashtbl.t;
+}
+
+let create () = { rounds = 0; messages = 0; per_label = Hashtbl.create 16 }
+
+let add t ~label k =
+  if k < 0 then invalid_arg "Metrics.add: negative round count";
+  t.rounds <- t.rounds + k;
+  match Hashtbl.find_opt t.per_label label with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.add t.per_label label (ref k)
+
+let add_messages t k = t.messages <- t.messages + k
+let rounds t = t.rounds
+let messages t = t.messages
+
+let breakdown t =
+  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.per_label []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let merge ~into src =
+  into.messages <- into.messages + src.messages;
+  Hashtbl.iter (fun label r -> add into ~label !r) src.per_label
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>rounds=%d messages=%d" t.rounds t.messages;
+  List.iter (fun (l, r) -> Format.fprintf fmt "@,  %-24s %d" l r) (breakdown t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,30 @@
+(** Communication-cost accounting for simulated CONGEST executions.
+
+    Every algorithm in this repository reports its cost through a
+    [Metrics.t]: total rounds, total messages, and a labeled breakdown so
+    experiments can attribute rounds to phases (e.g. ["sep/mvc"],
+    ["dl/broadcast-Hx"]). Message-level simulations add measured values;
+    primitive-accounted reductions (DESIGN.md Section 3) add charges
+    computed from measured dilation/congestion. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~label rounds] charges [rounds] communication rounds. *)
+val add : t -> label:string -> int -> unit
+
+(** [add_messages t k] records [k] point-to-point messages. *)
+val add_messages : t -> int -> unit
+
+val rounds : t -> int
+val messages : t -> int
+
+(** [breakdown t] lists [(label, rounds)] aggregated per label,
+    sorted by decreasing rounds. *)
+val breakdown : t -> (string * int) list
+
+(** [merge ~into src] adds all of [src]'s charges into [into]. *)
+val merge : into:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Many BFS floods at once under per-edge bandwidth — the random-delay
+    scheduling of Theorem 6 (Ghaffari [Gha15]) at the message level.
+
+    Each instance floods hop distances from its own root; a node may
+    forward only one (instance, distance) announcement per neighbor per
+    round, so concurrent instances queue on shared edges. Random start
+    delays spread the load; the measured completion time tracks
+    O(dilation + congestion) = O(D + k) instead of the sequential k * D. *)
+
+type result = {
+  dist : int array array;  (** [dist.(i).(v)] = hop distance from root i *)
+  rounds : int;  (** measured completion rounds *)
+}
+
+(** [run skeleton ~roots ?seed ~metrics] floods all roots concurrently.
+    Rounds charged under ["multi-bfs"]. *)
+val run :
+  Repro_graph.Digraph.t ->
+  roots:int list ->
+  ?seed:int ->
+  metrics:Metrics.t ->
+  unit ->
+  result

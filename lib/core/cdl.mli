@@ -1,0 +1,46 @@
+(** Constrained distance labeling CDL(C) (Section 5.2, Theorem 3).
+
+    Builds the product graph G_C, lifts a tree decomposition of G to
+    G_C, runs the distance-labeling construction of Theorem 2 on G_C and
+    charges its measured rounds multiplied by the CONGEST simulation
+    overhead |Q| * p_max. A node v of G owns the labels of all product
+    vertices (v, q); the decoder
+
+      sdec(q, sla(u), sla(v)) = dec(la(u, nabla), la(v, q))
+
+    returns the exact shortest C(q)-walk length from u to v. *)
+
+type t
+
+val build :
+  ?dec:Repro_treedec.Decomposition.t ->
+  ?seed:int ->
+  Repro_graph.Digraph.t ->
+  Stateful.t ->
+  metrics:Repro_congest.Metrics.t ->
+  t
+
+val product : t -> Product.t
+
+(** [sdec t ~q ~src ~dst] decodes the shortest C(q)-walk length from the
+    labels only. *)
+val sdec : t -> q:int -> src:int -> dst:int -> int
+
+(** [self_distance t ~q v] is [sdec t ~q ~src:v ~dst:v] — the girth
+    algorithm's per-node quantity g(v) (Section 7). *)
+val self_distance : t -> q:int -> int -> int
+
+(** [label_words t v] is the size of node [v]'s CDL label: the sum over
+    all q of la(v,q) (what Theorem 3 bounds). *)
+val label_words : t -> int -> int
+
+(** [shortest_walk t ~q ~src ~dst ~metrics] reconstructs a minimum
+    C(q)-walk as G edge ids (Corollary 1); charges O(D + walk length)
+    rounds under ["cdl/walk"]. *)
+val shortest_walk :
+  t -> q:int -> src:int -> dst:int -> metrics:Repro_congest.Metrics.t -> int list option
+
+(** [sdec_min t ~qs ~src ~dst] is the minimum over several final states —
+    how the "subset" constraints C(Q') of Section 5.1 are queried (e.g.
+    "at most 2 risky legs" = min over count states 0..2). *)
+val sdec_min : t -> qs:int list -> src:int -> dst:int -> int

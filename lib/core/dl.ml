@@ -1,0 +1,197 @@
+module Digraph = Repro_graph.Digraph
+module Metrics = Repro_congest.Metrics
+module Part = Repro_shortcut.Part
+module Primitives = Repro_shortcut.Primitives
+module Decomposition = Repro_treedec.Decomposition
+
+let inf = Digraph.inf
+
+(* Floyd-Warshall on a small matrix (in place). *)
+let floyd_warshall d =
+  let k_n = Array.length d in
+  for k = 0 to k_n - 1 do
+    for i = 0 to k_n - 1 do
+      if d.(i).(k) < inf then
+        for j = 0 to k_n - 1 do
+          if d.(k).(j) < inf && d.(i).(k) + d.(k).(j) < d.(i).(j) then
+            d.(i).(j) <- d.(i).(k) + d.(k).(j)
+        done
+    done
+  done
+
+let build g dec ~metrics =
+  let n = Digraph.n g in
+  (* lightest direct edge u -> v (both directions when undirected) *)
+  let direct = Hashtbl.create (Digraph.m g) in
+  let record u v w =
+    match Hashtbl.find_opt direct (u, v) with
+    | Some w' when w' <= w -> ()
+    | _ -> Hashtbl.replace direct (u, v) w
+  in
+  Array.iter
+    (fun e ->
+      record e.Digraph.src e.Digraph.dst e.Digraph.weight;
+      if not (Digraph.directed g) then record e.Digraph.dst e.Digraph.src e.Digraph.weight)
+    (Digraph.edges g);
+  let direct_w u v =
+    if u = v then 0
+    else match Hashtbl.find_opt direct (u, v) with Some w -> w | None -> inf
+  in
+  (* subtree vertex sets, bottom-up *)
+  let keys =
+    List.sort
+      (fun a b -> compare (List.length b) (List.length a))
+      (Decomposition.keys dec)
+  in
+  let vsets : (Decomposition.key, int array) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      let seen = Hashtbl.create 32 in
+      Array.iter (fun v -> Hashtbl.replace seen v ()) (Decomposition.bag dec x);
+      List.iter
+        (fun i ->
+          Array.iter (fun v -> Hashtbl.replace seen v ()) (Hashtbl.find vsets (x @ [ i ])))
+        (Decomposition.children dec x);
+      Hashtbl.replace vsets x
+        (Array.of_list (List.sort compare (Hashtbl.fold (fun v () a -> v :: a) seen []))))
+    keys;
+  let labels = Array.init n Labeling.create in
+  (* scratch: position of a vertex inside the current bag *)
+  let pos = Array.make n (-1) in
+  let child_of = Array.make n (-1) in
+  let process x =
+    let bag = Decomposition.bag dec x in
+    let b = Array.length bag in
+    Array.iteri (fun i v -> pos.(v) <- i) bag;
+    let children = Decomposition.children dec x in
+    let h = Array.make_matrix b b inf in
+    for i = 0 to b - 1 do
+      h.(i).(i) <- 0
+    done;
+    (match children with
+    | [] ->
+        (* leaf: H is just the induced subgraph on the bag *)
+        for i = 0 to b - 1 do
+          for j = 0 to b - 1 do
+            if i <> j then h.(i).(j) <- direct_w bag.(i) bag.(j)
+          done
+        done
+    | _ ->
+        (* H_x edge cost = min(direct G edge, child-level distance) *)
+        for i = 0 to b - 1 do
+          for j = 0 to b - 1 do
+            if i <> j then begin
+              let w = direct_w bag.(i) bag.(j) in
+              let w =
+                match Labeling.dist_to labels.(bag.(i)) bag.(j) with
+                | Some d -> min w d
+                | None -> w
+              in
+              h.(i).(j) <- w
+            end
+          done
+        done);
+    (* edges actually present in H_x (what step 3 broadcasts) *)
+    let h_edges = ref 0 in
+    for i = 0 to b - 1 do
+      for j = 0 to b - 1 do
+        if i <> j && h.(i).(j) < inf then incr h_edges
+      done
+    done;
+    floyd_warshall h;
+    (* bag vertices learn exact in-G_x distances inside the bag *)
+    Array.iteri
+      (fun i u ->
+        Array.iteri
+          (fun j s ->
+            Labeling.set labels.(u) ~anchor:s ~d_to:h.(i).(j) ~d_from:h.(j).(i))
+          bag)
+      bag;
+    (* non-bag vertices extend through their child's gateway anchors *)
+    (match children with
+    | [] -> ()
+    | _ ->
+        let vset = Hashtbl.find vsets x in
+        Array.iter (fun v -> child_of.(v) <- -1) vset;
+        List.iter
+          (fun i ->
+            Array.iter
+              (fun v -> if pos.(v) < 0 then child_of.(v) <- i)
+              (Hashtbl.find vsets (x @ [ i ])))
+          children;
+        (* gateways per child: bag vertices present in that child *)
+        let gateways =
+          List.map
+            (fun i ->
+              ( i,
+                Array.to_list (Hashtbl.find vsets (x @ [ i ]))
+                |> List.filter (fun v -> pos.(v) >= 0) ))
+            children
+        in
+        let gateway_tbl = Hashtbl.create 8 in
+        List.iter (fun (i, gs) -> Hashtbl.add gateway_tbl i gs) gateways;
+        Array.iter
+          (fun u ->
+            if pos.(u) < 0 then begin
+              let ci = child_of.(u) in
+              assert (ci >= 0);
+              let gs = Hashtbl.find gateway_tbl ci in
+              (* d(u -> a) and d(a -> u) for gateway anchors a *)
+              let reach =
+                List.filter_map
+                  (fun a ->
+                    match
+                      (Labeling.dist_to labels.(u) a, Labeling.dist_from labels.(u) a)
+                    with
+                    | Some dt, Some df -> Some (pos.(a), dt, df)
+                    | _ -> None)
+                  gs
+              in
+              Array.iteri
+                (fun j s ->
+                  let d_to =
+                    List.fold_left
+                      (fun acc (ai, dt, _) ->
+                        if dt < inf && h.(ai).(j) < inf then min acc (dt + h.(ai).(j))
+                        else acc)
+                      inf reach
+                  and d_from =
+                    List.fold_left
+                      (fun acc (ai, _, df) ->
+                        if df < inf && h.(j).(ai) < inf then min acc (h.(j).(ai) + df)
+                        else acc)
+                      inf reach
+                  in
+                  Labeling.set labels.(u) ~anchor:s ~d_to ~d_from)
+                bag
+            end)
+          vset);
+    Array.iter (fun v -> pos.(v) <- -1) bag;
+    !h_edges
+  in
+  (* process by level, deepest first, charging one scheduled BCT per level *)
+  let by_depth = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let d = List.length x in
+      Hashtbl.replace by_depth d (x :: Option.value ~default:[] (Hashtbl.find_opt by_depth d)))
+    keys;
+  let depths =
+    List.sort (fun a b -> compare b a) (Hashtbl.fold (fun d _ acc -> d :: acc) by_depth [])
+  in
+  List.iter
+    (fun d ->
+      let level_keys = Hashtbl.find by_depth d in
+      let h_max = ref 0 in
+      List.iter (fun x -> h_max := max !h_max (process x)) level_keys;
+      let members =
+        Array.of_list (List.map (fun x -> Hashtbl.find vsets x) level_keys)
+      in
+      let parts = Part.make_unchecked g members in
+      let b = Primitives.basis parts ~metrics in
+      Metrics.add metrics ~label:"dl/level" (Primitives.bct_rounds b ~h:!h_max))
+    depths;
+  labels
+
+let max_label_words labels =
+  Array.fold_left (fun acc la -> max acc (Labeling.size_words la)) 0 labels

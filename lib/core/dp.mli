@@ -1,0 +1,58 @@
+(** Dynamic programming over nice tree decompositions — the
+    tree-decomposition applications the paper cites from [Li18]
+    (Section 1.1): once a decomposition has been computed distributively,
+    optimal solutions of NP-hard problems follow by a bottom-up DP whose
+    communication is one table aggregation per decomposition level and
+    whose local work is exponential only in the decomposition width.
+
+    Communication is charged as one BCT per nice-tree level with h = the
+    largest DP table in words (Corollary 3), matching [Li18]'s
+    2^O(width) * D shape with measured quantities. *)
+
+type 'a result = {
+  value : 'a;  (** optimum value *)
+  witness : int list;  (** an optimal vertex set *)
+  table_words : int;  (** largest DP table exchanged *)
+}
+
+(** [max_weight_independent_set ?weights g nice ~metrics] — maximum
+    weight of an independent set (weights default to 1: maximum
+    independent set). The witness is verified independent by the
+    function before returning. *)
+val max_weight_independent_set :
+  ?weights:int array ->
+  Repro_graph.Digraph.t ->
+  Repro_treedec.Nice.t ->
+  metrics:Repro_congest.Metrics.t ->
+  int result
+
+(** [min_vertex_cover g nice ~metrics] — complement of a maximum
+    independent set. *)
+val min_vertex_cover :
+  Repro_graph.Digraph.t ->
+  Repro_treedec.Nice.t ->
+  metrics:Repro_congest.Metrics.t ->
+  int result
+
+(** [min_dominating_set g nice ~metrics] — minimum dominating set size
+    (value and witness) by the 3-state black/white/grey DP
+    [CFK+15, 7.3.2]. *)
+val min_dominating_set :
+  Repro_graph.Digraph.t ->
+  Repro_treedec.Nice.t ->
+  metrics:Repro_congest.Metrics.t ->
+  int result
+
+(** [steiner_tree g nice ~terminals ~metrics] — minimum total weight of
+    a connected subgraph spanning all [terminals] (classic
+    partition-state DP over the nice decomposition; edges are bought
+    when their later endpoint is introduced). The witness is the edge-id
+    list of an optimal tree, verified to connect the terminals at the
+    stated weight. Table size grows with the Bell numbers of the bag, so
+    the width cap is 8. *)
+val steiner_tree :
+  Repro_graph.Digraph.t ->
+  Repro_treedec.Nice.t ->
+  terminals:int list ->
+  metrics:Repro_congest.Metrics.t ->
+  int result

@@ -1,0 +1,69 @@
+(** Weighted girth (Section 7, Theorem 5).
+
+    Directed case: the length of the shortest cycle through edge (u,v) is
+    w(u,v) + d(v,u); nodes exchange their distance labels across each
+    edge (one exchange, label-size rounds, all edges in parallel) and the
+    global minimum is aggregated over a BFS tree.
+
+    Undirected case: a walk that "folds onto itself" must be excluded,
+    which the paper does with exact count-1 walks (Lemma 6): assign each
+    edge a random 0/1 label, build CDL(count-1), and let every node v
+    compute g(v) = shortest exact-count-1 closed walk at v — always >= g,
+    and = g when exactly one edge of some shortest cycle is labeled. The
+    label probability is swept by doubling; repeated trials amplify the
+    success probability.
+
+    Modes: [`Faithful] runs the CDL construction per trial; [`Charged]
+    runs it once and charges its measured cost per trial (the per-trial
+    values are computed from the same product graph). The deterministic
+    variant [`PerEdge] labels one edge at a time — m trials, each exact —
+    and is used as a derandomized validation mode. *)
+
+type mode = [ `Faithful | `Charged | `PerEdge ]
+
+type result = {
+  girth : int;  (** Digraph.inf when acyclic *)
+  trials : int;  (** number of CDL constructions (or charges) performed *)
+}
+
+(** [directed ?dec g ~metrics] — exact girth of a directed weighted
+    graph. *)
+val directed :
+  ?dec:Repro_treedec.Decomposition.t ->
+  ?seed:int ->
+  Repro_graph.Digraph.t ->
+  metrics:Repro_congest.Metrics.t ->
+  result
+
+(** [undirected ?mode ?repeats ?dec g ~metrics] — girth of an undirected
+    weighted graph; [repeats] is the per-scale trial count of the
+    randomized modes (default [ceil_log2 n + 4]). The output is always an
+    upper bound >= g (Lemma 6) and equals g with high probability
+    ([`PerEdge]: with certainty). *)
+val undirected :
+  ?mode:mode ->
+  ?repeats:int ->
+  ?dec:Repro_treedec.Decomposition.t ->
+  ?seed:int ->
+  Repro_graph.Digraph.t ->
+  metrics:Repro_congest.Metrics.t ->
+  result
+
+(** [run g ~metrics] dispatches on [Digraph.directed g]. *)
+val run :
+  ?mode:mode ->
+  ?seed:int ->
+  Repro_graph.Digraph.t ->
+  metrics:Repro_congest.Metrics.t ->
+  result
+
+(** [witness ?seed g ~metrics] additionally reconstructs a shortest
+    cycle: [Some (girth, edge ids)] or [None] when acyclic. Uses the
+    exact per-edge mode for the value, then extracts the cycle through
+    the minimizing edge (charged like a walk extraction,
+    Corollary 1). *)
+val witness :
+  ?seed:int ->
+  Repro_graph.Digraph.t ->
+  metrics:Repro_congest.Metrics.t ->
+  (int * int list) option

@@ -1,0 +1,52 @@
+module Digraph = Repro_graph.Digraph
+module Metrics = Repro_congest.Metrics
+
+type table = { graph : Digraph.t; labels : Labeling.t array }
+
+let prepare g labels ~metrics =
+  (* every neighbor pair exchanges labels once, in parallel: pipelined
+     label words in both directions *)
+  let words =
+    Array.fold_left (fun acc la -> max acc (Labeling.size_words la)) 0 labels
+  in
+  Metrics.add metrics ~label:"routing/exchange" (2 * words);
+  { graph = g; labels }
+
+let next_hop t ~at ~dst =
+  if at = dst then None
+  else begin
+    let total = Labeling.decode t.labels.(at) t.labels.(dst) in
+    if total >= Digraph.inf then None
+    else begin
+      let best = ref None and best_d = ref Digraph.inf in
+      Array.iter
+        (fun ei ->
+          let e = Digraph.edge t.graph ei in
+          let x = Digraph.dst_of t.graph e at in
+          let rest = Labeling.decode t.labels.(x) t.labels.(dst) in
+          if rest < Digraph.inf then begin
+            let d = e.Digraph.weight + rest in
+            if d < !best_d then begin
+              best_d := d;
+              best := Some ei
+            end
+          end)
+        (Digraph.out_edges t.graph at);
+      (* exact labels guarantee the greedy choice realizes the distance *)
+      if !best_d = total then !best else None
+    end
+  end
+
+let route t ~src ~dst =
+  let n = Digraph.n t.graph in
+  let rec go at acc steps =
+    if at = dst then Some (List.rev (dst :: acc))
+    else if steps > n then None (* defensive: cannot happen with exact labels *)
+    else
+      match next_hop t ~at ~dst with
+      | None -> None
+      | Some ei ->
+          let e = Digraph.edge t.graph ei in
+          go (Digraph.dst_of t.graph e at) (at :: acc) (steps + 1)
+  in
+  go src [] 0

@@ -1,0 +1,27 @@
+(** Next-hop routing from distance labels.
+
+    Distance labeling gives every node the means to make locally optimal
+    forwarding decisions: after a one-time exchange of labels between
+    neighbors (charged once, label-size rounds), node u forwards a packet
+    for v along the outgoing edge e = (u, x) minimizing
+    w(e) + dec(la(x), la(v)). Because the labels are exact, the greedy
+    choice follows a shortest path, hop by hop. *)
+
+type table
+
+(** [prepare g labels ~metrics] performs the neighbor label exchange
+    (charged under ["routing/exchange"]) and returns the routing state. *)
+val prepare :
+  Repro_graph.Digraph.t ->
+  Labeling.t array ->
+  metrics:Repro_congest.Metrics.t ->
+  table
+
+(** [next_hop table ~at ~dst] is the locally chosen outgoing edge id, or
+    [None] if [dst] is unreachable from [at]. *)
+val next_hop : table -> at:int -> dst:int -> int option
+
+(** [route table ~src ~dst] is the full vertex path [src; ...; dst]
+    obtained by following next hops ([None] when unreachable). The path
+    length always equals the exact distance. *)
+val route : table -> src:int -> dst:int -> int list option

@@ -1,0 +1,21 @@
+(** Single-source shortest paths from a distance labeling (Section 1.2):
+    the source streams its label down a BFS tree (pipelined, message
+    level) and every node decodes its distance locally. Compare with the
+    Theta(n)-round {!Repro_congest.Bellman_ford} baseline (experiment
+    E2b). *)
+
+type result = {
+  dist_from_source : int array;  (** d(source -> v) for every v *)
+  dist_to_source : int array;  (** d(v -> source) *)
+  broadcast_rounds : int;  (** measured rounds of the label broadcast *)
+}
+
+(** [run g labels ~source ~metrics] decodes all distances after
+    physically streaming the source label ([3 * #anchors] one-word items)
+    down a BFS tree. *)
+val run :
+  Repro_graph.Digraph.t ->
+  Labeling.t array ->
+  source:int ->
+  metrics:Repro_congest.Metrics.t ->
+  result

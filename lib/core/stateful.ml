@@ -1,0 +1,133 @@
+module Digraph = Repro_graph.Digraph
+
+type t = {
+  name : string;
+  q_size : int;
+  bot : int;
+  start : int;
+  delta : Digraph.edge -> int -> int;
+}
+
+(* Convention: bot = 0, nabla = 1, other states from 2. *)
+
+let colored ~colors =
+  if colors < 1 then invalid_arg "Stateful.colored";
+  let state_of c = 2 + c in
+  {
+    name = Printf.sprintf "colored-%d" colors;
+    q_size = colors + 2;
+    bot = 0;
+    start = 1;
+    delta =
+      (fun e q ->
+        let c = e.Digraph.label in
+        if c < 0 || c >= colors then invalid_arg "Stateful.colored: label out of range";
+        if q = 0 then 0 (* bot absorbs *)
+        else if q = state_of c then 0 (* same color twice: reject *)
+        else state_of c);
+  }
+
+let count ~limit =
+  if limit < 0 then invalid_arg "Stateful.count";
+  let state_of k = 2 + k in
+  {
+    name = Printf.sprintf "count-%d" limit;
+    q_size = limit + 3;
+    bot = 0;
+    start = 1;
+    delta =
+      (fun e q ->
+        let bit = if e.Digraph.label <> 0 then 1 else 0 in
+        if q = 0 then 0
+        else
+          let seen = if q = 1 then 0 else q - 2 in
+          let seen = seen + bit in
+          if seen > limit then 0 else state_of seen);
+  }
+
+let forbidden = { (count ~limit:0) with name = "forbidden" }
+
+let parity =
+  {
+    name = "parity";
+    q_size = 4;
+    bot = 0;
+    start = 1;
+    delta =
+      (fun e q ->
+        let bit = if e.Digraph.label <> 0 then 1 else 0 in
+        if q = 0 then 0
+        else
+          let p = if q = 3 then 1 else 0 (* 2 = even, 3 = odd *) in
+          2 + ((p + bit) mod 2));
+  }
+
+let state_index_count c k =
+  if k < 0 || k > c.q_size - 3 then invalid_arg "Stateful.state_index_count";
+  2 + k
+
+let state_index_color c col =
+  if col < 0 || col > c.q_size - 3 then invalid_arg "Stateful.state_index_color";
+  2 + col
+
+let walk_state c g edge_ids =
+  match edge_ids with
+  | [] -> Ok c.start
+  | first :: _ ->
+      let edges = List.map (Digraph.edge g) edge_ids in
+      (* choose the starting vertex: for a directed graph, the first
+         edge's source; otherwise the endpoint not shared with the next
+         edge (defaulting to src) *)
+      let start_vertex =
+        if Digraph.directed g then (List.hd edges).Digraph.src
+        else
+          match edges with
+          | [ e ] -> e.Digraph.src
+          | e1 :: e2 :: _ ->
+              let touches v = e2.Digraph.src = v || e2.Digraph.dst = v in
+              if touches e1.Digraph.dst then e1.Digraph.src
+              else if touches e1.Digraph.src then e1.Digraph.dst
+              else e1.Digraph.src
+          | [] -> assert false
+      in
+      ignore first;
+      let rec go at q = function
+        | [] -> Ok q
+        | e :: rest ->
+            let next =
+              if Digraph.directed g then
+                if e.Digraph.src = at then Some e.Digraph.dst else None
+              else if e.Digraph.src = at then Some e.Digraph.dst
+              else if e.Digraph.dst = at then Some e.Digraph.src
+              else None
+            in
+            (match next with
+            | None ->
+                Error
+                  (Printf.sprintf "not a walk: edge %d does not leave vertex %d"
+                     e.Digraph.id at)
+            | Some nxt -> go nxt (c.delta e q) rest)
+      in
+      go start_vertex c.start edges
+
+let of_dfa ~name ~states ~delta =
+  if states < 1 then invalid_arg "Stateful.of_dfa";
+  {
+    name;
+    q_size = states + 2;
+    bot = 0;
+    start = 1;
+    delta =
+      (fun e q ->
+        if q = 0 then 0
+        else
+          let dfa_state = if q = 1 then 0 else q - 2 in
+          match delta dfa_state e.Digraph.label with
+          | Some s when s >= 0 && s < states -> 2 + s
+          | Some _ -> invalid_arg "Stateful.of_dfa: delta out of range"
+          | None -> 0);
+  }
+
+let state_index_dfa c s =
+  if s < 0 || s > c.q_size - 3 then invalid_arg "Stateful.state_index_dfa";
+  2 + s

@@ -1,0 +1,67 @@
+(** Stateful walk constraints (Definition 2 of the paper).
+
+    A constraint is a finite state set Q containing a reject state (bot)
+    and a start state (nabla), plus a transition function per edge.
+    States are represented as integers in [0, q_size); the transition
+    must map bot to bot (condition 3). The walk set C is "all walks whose
+    state is not bot".
+
+    Constructors cover the paper's two worked examples — c-colored walks
+    (Example 1, used by matching) and count-c walks (Example 2, used by
+    girth) — plus two extra constraints exercised by tests and examples.
+
+    Edge "labels" are read from [Digraph.edge.label]. *)
+
+type t = {
+  name : string;
+  q_size : int;  (** |Q| *)
+  bot : int;  (** reject state *)
+  start : int;  (** nabla, state of the empty walk *)
+  delta : Repro_graph.Digraph.edge -> int -> int;  (** per-edge transition *)
+}
+
+(** [colored ~colors] — no two consecutive edges share a label
+    (Example 1). States: bot, nabla, then one state per color;
+    [q_size = colors + 2]. Edge labels must lie in [0, colors). *)
+val colored : colors:int -> t
+
+(** [count ~limit] — at most [limit] edges with label 1 (Example 2).
+    States: bot, nabla, then counts 0..limit; [q_size = limit + 3].
+    Labels are treated as 0/1 (any nonzero label counts as 1). *)
+val count : limit:int -> t
+
+(** [forbidden] — walks that avoid label-1 edges entirely (count 0);
+    3 states. *)
+val forbidden : t
+
+(** [parity] — tracks the parity of label-1 edges; never rejects.
+    4 states: bot (unreachable), nabla, even, odd. *)
+val parity : t
+
+(** [state_index_count c k] is the state representing "seen exactly [k]
+    label-1 edges" of a [count] constraint (for querying exact count-k
+    distances, Section 5.1 "subsets of stateful walk constraints"). *)
+val state_index_count : t -> int -> int
+
+(** [state_index_color c col] is the state "last edge had color [col]"
+    of a [colored] constraint. *)
+val state_index_color : t -> int -> int
+
+(** [walk_state c g edges] folds the transition over a walk given as
+    edge ids (the function M_C); [Error] if the sequence is not a walk.
+    Test oracle for the product construction. Starting vertex is taken
+    from the first edge's source; for undirected graphs, orientation is
+    resolved greedily. *)
+val walk_state : t -> Repro_graph.Digraph.t -> int list -> (int, string) result
+
+(** [of_dfa ~name ~states ~delta] — walks whose edge-label sequence is
+    accepted step-by-step by a deterministic automaton: [delta s l] is
+    the next DFA state on label [l] from state [s], or [None] to reject.
+    The empty walk has state nabla; the first edge transitions from DFA
+    state 0. Generalizes {!colored} and {!count}; query distances per
+    accepting DFA state with {!state_index_dfa}. *)
+val of_dfa : name:string -> states:int -> delta:(int -> int -> int option) -> t
+
+(** [state_index_dfa c s] is the walk state corresponding to DFA state
+    [s] of an [of_dfa] constraint. *)
+val state_index_dfa : t -> int -> int

@@ -1,0 +1,32 @@
+let bipartition g =
+  let n = Digraph.n g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if !ok && color.(s) < 0 then begin
+      color.(s) <- 0;
+      Queue.add s queue;
+      while !ok && not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        let visit u =
+          if u <> v then
+            if color.(u) < 0 then begin
+              color.(u) <- 1 - color.(v);
+              Queue.add u queue
+            end
+            else if color.(u) = color.(v) then ok := false
+        in
+        let scan ei =
+          let e = Digraph.edge g ei in
+          visit e.Digraph.src;
+          visit e.Digraph.dst
+        in
+        Array.iter scan (Digraph.out_edges g v);
+        if Digraph.directed g then Array.iter scan (Digraph.in_edges g v)
+      done
+    end
+  done;
+  if !ok then Some color else None
+
+let is_bipartite g = bipartition g <> None

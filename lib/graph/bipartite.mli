@@ -1,0 +1,8 @@
+(** Bipartiteness testing and 2-colorings. *)
+
+(** [bipartition g] is [Some color] with [color.(v)] in [{0,1}] when the
+    skeleton of [g] is bipartite, [None] otherwise. Vertices in different
+    components are colored independently. *)
+val bipartition : Digraph.t -> int array option
+
+val is_bipartite : Digraph.t -> bool

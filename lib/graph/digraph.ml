@@ -1,0 +1,147 @@
+type edge = { id : int; src : int; dst : int; weight : int; label : int }
+
+type t = {
+  n : int;
+  directed : bool;
+  edges : edge array;
+  out_adj : int array array;
+  in_adj : int array array;
+}
+
+let inf = max_int / 4
+
+let check_endpoint n v =
+  if v < 0 || v >= n then invalid_arg (Printf.sprintf "Digraph: vertex %d out of range [0,%d)" v n)
+
+let build_adjacency ~directed n edges =
+  let out_cnt = Array.make n 0 and in_cnt = Array.make n 0 in
+  let bump counts v = counts.(v) <- counts.(v) + 1 in
+  Array.iter
+    (fun e ->
+      if directed then begin
+        bump out_cnt e.src;
+        bump in_cnt e.dst
+      end
+      else begin
+        bump out_cnt e.src;
+        if e.dst <> e.src then bump out_cnt e.dst
+      end)
+    edges;
+  let out_adj = Array.init n (fun v -> Array.make out_cnt.(v) (-1)) in
+  let in_adj =
+    if directed then Array.init n (fun v -> Array.make in_cnt.(v) (-1)) else out_adj
+  in
+  let out_pos = Array.make n 0 and in_pos = Array.make n 0 in
+  let put adj pos v e =
+    adj.(v).(pos.(v)) <- e;
+    pos.(v) <- pos.(v) + 1
+  in
+  Array.iter
+    (fun e ->
+      if directed then begin
+        put out_adj out_pos e.src e.id;
+        put in_adj in_pos e.dst e.id
+      end
+      else begin
+        put out_adj out_pos e.src e.id;
+        if e.dst <> e.src then put out_adj out_pos e.dst e.id
+      end)
+    edges;
+  (out_adj, in_adj)
+
+let of_edge_array ~directed n edges =
+  let out_adj, in_adj = build_adjacency ~directed n edges in
+  { n; directed; edges; out_adj; in_adj }
+
+let create_labeled ~directed n spec =
+  let mk i (src, dst, weight, label) =
+    check_endpoint n src;
+    check_endpoint n dst;
+    if weight < 0 then invalid_arg "Digraph: negative weight";
+    { id = i; src; dst; weight; label }
+  in
+  of_edge_array ~directed n (Array.of_list (List.mapi mk spec))
+
+let create ~directed n spec =
+  create_labeled ~directed n (List.map (fun (s, d, w) -> (s, d, w, 0)) spec)
+
+let with_labels g f =
+  of_edge_array ~directed:g.directed g.n
+    (Array.map (fun e -> { e with label = f e }) g.edges)
+
+let with_weights g f =
+  of_edge_array ~directed:g.directed g.n
+    (Array.map (fun e -> { e with weight = f e }) g.edges)
+
+let n g = g.n
+let m g = Array.length g.edges
+let directed g = g.directed
+let edge g i = g.edges.(i)
+let edges g = g.edges
+let out_edges g v = g.out_adj.(v)
+let in_edges g v = if g.directed then g.in_adj.(v) else g.out_adj.(v)
+
+let dst_of g e v =
+  if g.directed then e.dst else if e.src = v then e.dst else e.src
+
+let neighbors g v =
+  let seen = Hashtbl.create 8 in
+  let add u = if u <> v && not (Hashtbl.mem seen u) then Hashtbl.add seen u () in
+  Array.iter (fun ei -> let e = g.edges.(ei) in add e.src; add e.dst) g.out_adj.(v);
+  if g.directed then
+    Array.iter (fun ei -> let e = g.edges.(ei) in add e.src; add e.dst) g.in_adj.(v);
+  let out = Hashtbl.fold (fun u () acc -> u :: acc) seen [] in
+  Array.of_list (List.sort compare out)
+
+let skeleton g =
+  let seen = Hashtbl.create (Array.length g.edges) in
+  let pairs = ref [] in
+  Array.iter
+    (fun e ->
+      let u = min e.src e.dst and v = max e.src e.dst in
+      if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+        Hashtbl.add seen (u, v) ();
+        pairs := (u, v, 1) :: !pairs
+      end)
+    g.edges;
+  create ~directed:false g.n (List.rev !pairs)
+
+let max_multiplicity g =
+  let counts = Hashtbl.create (Array.length g.edges) in
+  let best = ref (if Array.length g.edges = 0 then 0 else 1) in
+  Array.iter
+    (fun e ->
+      let key = (min e.src e.dst, max e.src e.dst) in
+      let c = (try Hashtbl.find counts key with Not_found -> 0) + 1 in
+      Hashtbl.replace counts key c;
+      if c > !best then best := c)
+    g.edges;
+  !best
+
+let induced g vs =
+  let old_of_new = Array.of_list vs in
+  let nn = Array.length old_of_new in
+  let new_of_old = Array.make g.n (-1) in
+  Array.iteri (fun i v -> new_of_old.(v) <- i) old_of_new;
+  let kept = ref [] in
+  Array.iter
+    (fun e ->
+      let s = new_of_old.(e.src) and d = new_of_old.(e.dst) in
+      if s >= 0 && d >= 0 then kept := { e with src = s; dst = d } :: !kept)
+    g.edges;
+  let kept = Array.of_list (List.rev !kept) in
+  let kept = Array.mapi (fun i e -> { e with id = i }) kept in
+  (of_edge_array ~directed:g.directed nn kept, old_of_new, new_of_old)
+
+let reverse g =
+  if not g.directed then g
+  else
+    of_edge_array ~directed:true g.n
+      (Array.map (fun e -> { e with src = e.dst; dst = e.src }) g.edges)
+
+let total_weight g = Array.fold_left (fun acc e -> acc + e.weight) 0 g.edges
+
+let pp fmt g =
+  Format.fprintf fmt "@[<h>%s graph: n=%d m=%d@]"
+    (if g.directed then "directed" else "undirected")
+    g.n (Array.length g.edges)

@@ -1,0 +1,218 @@
+let undirected n edges = Digraph.create ~directed:false n edges
+
+let path n =
+  undirected n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1, 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  undirected n ((n - 1, 0, 1) :: List.init (n - 1) (fun i -> (i, i + 1, 1)))
+
+let complete n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j, 1) :: !edges
+    done
+  done;
+  undirected n !edges
+
+let star n = undirected n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1, 1)))
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1), 1) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c, 1) :: !edges
+    done
+  done;
+  undirected (rows * cols) !edges
+
+let binary_tree depth =
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, (v - 1) / 2, 1) :: !edges
+  done;
+  undirected n !edges
+
+let k_tree ~seed n k =
+  if n < k + 1 then invalid_arg "Generators.k_tree: need n >= k+1";
+  let rng = Random.State.make [| seed; n; k |] in
+  let edges = ref [] in
+  (* seed clique on vertices 0..k *)
+  for i = 0 to k do
+    for j = i + 1 to k do
+      edges := (i, j, 1) :: !edges
+    done
+  done;
+  (* cliques: k-subsets a new vertex may attach to *)
+  let cliques = ref [] in
+  for drop = 0 to k do
+    cliques := List.filteri (fun i _ -> i <> drop) (List.init (k + 1) Fun.id) :: !cliques
+  done;
+  let cliques = ref (Array.of_list !cliques) in
+  let clique_count = ref (Array.length !cliques) in
+  let push_clique c =
+    if !clique_count = Array.length !cliques then begin
+      let bigger = Array.make (max 8 (2 * !clique_count)) [] in
+      Array.blit !cliques 0 bigger 0 !clique_count;
+      cliques := bigger
+    end;
+    !cliques.(!clique_count) <- c;
+    incr clique_count
+  in
+  for v = k + 1 to n - 1 do
+    let c = !cliques.(Random.State.int rng !clique_count) in
+    List.iter (fun u -> edges := (v, u, 1) :: !edges) c;
+    (* new k-cliques: v together with each (k-1)-subset of c *)
+    List.iteri (fun drop _ -> push_clique (v :: List.filteri (fun i _ -> i <> drop) c)) c
+  done;
+  undirected n !edges
+
+let spanning_tree_edge_ids g =
+  let uf = Union_find.create (Digraph.n g) in
+  let keep = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      if Union_find.union uf e.Digraph.src e.Digraph.dst then
+        Hashtbl.add keep e.Digraph.id ())
+    (Digraph.edges g);
+  keep
+
+let partial_k_tree ~seed n k ~keep =
+  let g = k_tree ~seed n k in
+  let rng = Random.State.make [| seed lxor 0x5eed; n; k |] in
+  let tree = spanning_tree_edge_ids g in
+  let kept =
+    Array.to_list (Digraph.edges g)
+    |> List.filter_map (fun e ->
+           if Hashtbl.mem tree e.Digraph.id || Random.State.float rng 1.0 < keep then
+             Some (e.Digraph.src, e.Digraph.dst, e.Digraph.weight)
+           else None)
+  in
+  undirected n kept
+
+let apex_cliques ~cliques ~size =
+  if cliques < 1 || size < 1 then invalid_arg "Generators.apex_cliques";
+  let n = (cliques * size) + 1 in
+  let apex = n - 1 in
+  let edges = ref [] in
+  for c = 0 to cliques - 1 do
+    let base = c * size in
+    for i = 0 to size - 1 do
+      for j = i + 1 to size - 1 do
+        edges := (base + i, base + j, 1) :: !edges
+      done;
+      edges := (base + i, apex, 1) :: !edges
+    done
+  done;
+  undirected n !edges
+
+let ring_of_rings ~rings ~ring_size =
+  if rings < 3 || ring_size < 3 then invalid_arg "Generators.ring_of_rings";
+  let n = rings * ring_size in
+  let edges = ref [] in
+  for r = 0 to rings - 1 do
+    let base = r * ring_size in
+    for i = 0 to ring_size - 1 do
+      edges := (base + i, base + ((i + 1) mod ring_size), 1) :: !edges
+    done;
+    (* connect ring r to ring r+1 through one vertex each *)
+    let next = ((r + 1) mod rings) * ring_size in
+    edges := (base, next, 1) :: !edges
+  done;
+  undirected n !edges
+
+let gnp_connected ~seed n p =
+  let rng = Random.State.make [| seed; n; int_of_float (p *. 1_000_000.) |] in
+  let edges = ref [] in
+  (* random spanning tree: attach each vertex to a random earlier one *)
+  for v = 1 to n - 1 do
+    edges := (v, Random.State.int rng v, 1) :: !edges
+  done;
+  let tree = Hashtbl.create 64 in
+  List.iter (fun (u, v, _) -> Hashtbl.add tree (min u v, max u v) ()) !edges;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if (not (Hashtbl.mem tree (i, j))) && Random.State.float rng 1.0 < p then
+        edges := (i, j, 1) :: !edges
+    done
+  done;
+  undirected n !edges
+
+let subdivide g =
+  let n = Digraph.n g in
+  let edges = ref [] in
+  Array.iteri
+    (fun i e ->
+      let mid = n + i in
+      edges :=
+        (mid, e.Digraph.dst, 0, e.Digraph.label)
+        :: (e.Digraph.src, mid, e.Digraph.weight, e.Digraph.label)
+        :: !edges)
+    (Digraph.edges g);
+  Digraph.create_labeled ~directed:(Digraph.directed g) (n + Digraph.m g) (List.rev !edges)
+
+let random_weights ~seed ~max_weight g =
+  if max_weight < 1 then invalid_arg "Generators.random_weights";
+  let rng = Random.State.make [| seed; Digraph.n g; max_weight |] in
+  Digraph.with_weights g (fun _ -> 1 + Random.State.int rng max_weight)
+
+let bidirect ~seed ~max_weight g =
+  let rng = Random.State.make [| seed lxor 0xd1c7; Digraph.n g |] in
+  let w () = 1 + Random.State.int rng max_weight in
+  let edges = ref [] in
+  Array.iter
+    (fun e ->
+      edges := (e.Digraph.src, e.Digraph.dst, w (), e.Digraph.label) :: !edges;
+      edges := (e.Digraph.dst, e.Digraph.src, w (), e.Digraph.label) :: !edges)
+    (Digraph.edges g);
+  Digraph.create_labeled ~directed:true (Digraph.n g) (List.rev !edges)
+
+let wheel n =
+  if n < 5 then invalid_arg "Generators.wheel: need n >= 5";
+  let hub = n - 1 in
+  let rim = n - 1 in
+  let edges = ref [] in
+  for i = 0 to rim - 1 do
+    edges := (i, (i + 1) mod rim, 1) :: !edges;
+    edges := (i, hub, 2 * n) :: !edges
+  done;
+  undirected n !edges
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Generators.caterpillar";
+  let n = spine * (legs + 1) in
+  let edges = ref [] in
+  for s = 0 to spine - 1 do
+    if s + 1 < spine then edges := (s, s + 1, 1) :: !edges;
+    for l = 0 to legs - 1 do
+      edges := (s, spine + (s * legs) + l, 1) :: !edges
+    done
+  done;
+  undirected n !edges
+
+let series_parallel ~seed n =
+  if n < 2 then invalid_arg "Generators.series_parallel: need n >= 2";
+  let rng = Random.State.make [| seed; n; 0x5e12 |] in
+  (* grow by expanding random existing edges: series expansion inserts a
+     fresh vertex in the middle; parallel expansion duplicates the edge
+     and then series-expands one copy (keeping the graph simple) *)
+  let edges = ref [ (0, 1) ] in
+  let next = ref 2 in
+  while !next < n do
+    let arr = Array.of_list !edges in
+    let u, v = arr.(Random.State.int rng (Array.length arr)) in
+    let mid = !next in
+    incr next;
+    if Random.State.bool rng then
+      (* series: u - mid - v replaces u - v *)
+      edges := (u, mid) :: (mid, v) :: List.filter (( <> ) (u, v)) !edges
+    else
+      (* parallel + series on the new branch: u - mid - v alongside u - v *)
+      edges := (u, mid) :: (mid, v) :: !edges
+  done;
+  undirected n (List.map (fun (u, v) -> (u, v, 1)) !edges)

@@ -1,0 +1,74 @@
+(** Graph families used by tests, examples, and the experiment harness.
+
+    All randomized generators take an explicit [seed] so every experiment
+    is reproducible. Generators whose family has a known exact treewidth
+    document it; these are the instances the round-complexity experiments
+    sweep over. *)
+
+val path : int -> Digraph.t (* treewidth 1 *)
+val cycle : int -> Digraph.t (* treewidth 2 *)
+val complete : int -> Digraph.t (* treewidth n-1 *)
+val star : int -> Digraph.t (* treewidth 1; n = #leaves + 1 *)
+
+(** [grid rows cols] has treewidth [min rows cols] and is bipartite. *)
+val grid : int -> int -> Digraph.t
+
+(** [binary_tree depth] is a complete binary tree; treewidth 1. *)
+val binary_tree : int -> Digraph.t
+
+(** [k_tree ~seed n k] is a random k-tree on [n >= k+1] vertices:
+    treewidth exactly [k], built by repeatedly attaching a new vertex to a
+    random existing k-clique. *)
+val k_tree : seed:int -> int -> int -> Digraph.t
+
+(** [partial_k_tree ~seed n k ~keep] keeps each non-spanning-tree edge of
+    a random k-tree with probability [keep]; treewidth at most [k] and the
+    graph stays connected. *)
+val partial_k_tree : seed:int -> int -> int -> keep:float -> Digraph.t
+
+(** [apex_cliques ~cliques ~size] is [cliques] disjoint cliques of [size]
+    vertices plus one apex adjacent to every vertex: diameter 2 and
+    treewidth [size]. The constant-diameter / large-treewidth family used
+    by the girth-vs-diameter separation experiment (E5b). *)
+val apex_cliques : cliques:int -> size:int -> Digraph.t
+
+(** [ring_of_rings ~rings ~ring_size] chains small cycles in a large
+    cycle; treewidth 2, girth [min ring_size rings*...] — used by the
+    girth example. *)
+val ring_of_rings : rings:int -> ring_size:int -> Digraph.t
+
+(** [gnp_connected ~seed n p] is an Erdos-Renyi graph conditioned on
+    connectivity (a random spanning tree is always included). *)
+val gnp_connected : seed:int -> int -> float -> Digraph.t
+
+(** [subdivide g] replaces every edge by a length-2 path through a fresh
+    vertex (each half keeps the label; weights split as [w] and [0]).
+    The result is bipartite and treewidth is preserved for treewidth >= 2. *)
+val subdivide : Digraph.t -> Digraph.t
+
+(** [random_weights ~seed ~max_weight g] draws each edge weight uniformly
+    from [1 .. max_weight]. *)
+val random_weights : seed:int -> max_weight:int -> Digraph.t -> Digraph.t
+
+(** [bidirect ~seed ~max_weight g] turns an undirected graph into a
+    directed one with one edge per direction, weights drawn independently
+    (a standard way to get directed low-treewidth instances: the skeleton,
+    and hence the treewidth, is unchanged). *)
+val bidirect : seed:int -> max_weight:int -> Digraph.t -> Digraph.t
+
+(** [wheel n] is a cycle on [n-1] vertices (unit weights) plus a hub
+    adjacent to every rim vertex through heavy spokes (weight [2n]).
+    Treewidth 3 and unweighted diameter 2, but weighted shortest paths
+    between rim vertices have Theta(n) hops — the instance on which
+    hop-bounded baselines like Bellman-Ford need Theta(n) rounds while
+    the unweighted diameter stays constant (experiment E2b). *)
+val wheel : int -> Digraph.t
+
+(** [caterpillar ~spine ~legs] is a path of [spine] vertices with [legs]
+    pendant vertices attached to each spine vertex; treewidth 1. *)
+val caterpillar : spine:int -> legs:int -> Digraph.t
+
+(** [series_parallel ~seed n] builds a random two-terminal
+    series-parallel graph by repeated series/parallel edge expansions;
+    treewidth at most 2. *)
+val series_parallel : seed:int -> int -> Digraph.t

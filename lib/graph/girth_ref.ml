@@ -1,0 +1,62 @@
+let inf = Digraph.inf
+
+(* Dijkstra from [src], optionally refusing to traverse edge [banned]. *)
+let dijkstra_banned g ~banned src =
+  let n = Digraph.n g in
+  let dist = Array.make n inf in
+  let queue = Pqueue.create () in
+  dist.(src) <- 0;
+  Pqueue.push queue 0 src;
+  while not (Pqueue.is_empty queue) do
+    let d, v = Pqueue.pop_min queue in
+    if d = dist.(v) then
+      Array.iter
+        (fun ei ->
+          if ei <> banned then begin
+            let e = Digraph.edge g ei in
+            let u = Digraph.dst_of g e v in
+            let nd = d + e.Digraph.weight in
+            if nd < dist.(u) then begin
+              dist.(u) <- nd;
+              Pqueue.push queue nd u
+            end
+          end)
+        (Digraph.out_edges g v)
+  done;
+  dist
+
+let girth_undirected g =
+  let best = ref inf in
+  Array.iter
+    (fun e ->
+      let u = e.Digraph.src and v = e.Digraph.dst in
+      if u = v then best := min !best e.Digraph.weight
+      else begin
+        let dist = dijkstra_banned g ~banned:e.Digraph.id u in
+        if dist.(v) < inf then best := min !best (dist.(v) + e.Digraph.weight)
+      end)
+    (Digraph.edges g);
+  !best
+
+let girth_directed g =
+  let memo = Hashtbl.create 16 in
+  let dist_from v =
+    match Hashtbl.find_opt memo v with
+    | Some d -> d
+    | None ->
+        let d = Shortest_path.dijkstra g v in
+        Hashtbl.add memo v d;
+        d
+  in
+  let best = ref inf in
+  Array.iter
+    (fun e ->
+      if e.Digraph.src = e.Digraph.dst then best := min !best e.Digraph.weight
+      else begin
+        let back = (dist_from e.Digraph.dst).(e.Digraph.src) in
+        if back < inf then best := min !best (back + e.Digraph.weight)
+      end)
+    (Digraph.edges g);
+  !best
+
+let girth g = if Digraph.directed g then girth_directed g else girth_undirected g

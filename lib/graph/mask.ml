@@ -1,0 +1,17 @@
+let vertices mask =
+  let out = ref [] in
+  Array.iteri (fun v m -> if m then out := v :: !out) mask;
+  List.rev !out
+
+let size mask = Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 mask
+
+let without mask vs =
+  let mask' = Array.copy mask in
+  List.iter (fun v -> mask'.(v) <- false) vs;
+  mask'
+
+let edge_count g mask =
+  Array.fold_left
+    (fun acc e ->
+      if mask.(e.Digraph.src) && mask.(e.Digraph.dst) then acc + 1 else acc)
+    0 (Digraph.edges g)

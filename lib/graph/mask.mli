@@ -1,0 +1,15 @@
+(** Helpers for vertex masks (bool arrays selecting a subgraph), the
+    representation every recursive algorithm in this project uses for
+    "the current subgraph". *)
+
+(** [vertices mask] lists the selected vertices, ascending. *)
+val vertices : bool array -> int list
+
+(** [size mask] counts the selected vertices. *)
+val size : bool array -> int
+
+(** [without mask vs] is a copy of [mask] with [vs] deselected. *)
+val without : bool array -> int list -> bool array
+
+(** [edge_count g mask] counts edges with both endpoints selected. *)
+val edge_count : Digraph.t -> bool array -> int

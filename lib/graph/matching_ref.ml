@@ -1,0 +1,117 @@
+let inf = Digraph.inf
+
+(* Hopcroft-Karp over the left side (color 0 vertices). Each phase runs a
+   BFS computing layered distances over left vertices, then augments along
+   vertex-disjoint shortest augmenting paths by DFS. O(m sqrt n). *)
+let hopcroft_karp_mask g mask =
+  let n = Digraph.n g in
+  let color =
+    match Bipartite.bipartition g with
+    | Some c -> c
+    | None -> invalid_arg "Matching_ref: graph is not bipartite"
+  in
+  let mate = Array.make n (-1) in
+  let dist = Array.make n inf in
+  let adj v =
+    let out = ref [] in
+    let scan ei =
+      let e = Digraph.edge g ei in
+      let u = if e.Digraph.src = v then e.Digraph.dst else e.Digraph.src in
+      if u <> v && mask.(u) then out := u :: !out
+    in
+    Array.iter scan (Digraph.out_edges g v);
+    if Digraph.directed g then Array.iter scan (Digraph.in_edges g v);
+    !out
+  in
+  let lefts =
+    List.filter (fun v -> mask.(v) && color.(v) = 0) (List.init n Fun.id)
+  in
+  let bfs () =
+    let queue = Queue.create () in
+    Array.fill dist 0 n inf;
+    List.iter
+      (fun v ->
+        if mate.(v) < 0 then begin
+          dist.(v) <- 0;
+          Queue.add v queue
+        end)
+      lefts;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun u ->
+          let w = mate.(u) in
+          if w < 0 then found := true
+          else if dist.(w) = inf then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w queue
+          end)
+        (adj v)
+    done;
+    !found
+  in
+  let rec dfs v =
+    List.exists
+      (fun u ->
+        let w = mate.(u) in
+        if w < 0 || (dist.(w) = dist.(v) + 1 && dfs w) then begin
+          mate.(v) <- u;
+          mate.(u) <- v;
+          true
+        end
+        else false)
+      (adj v)
+    ||
+    begin
+      dist.(v) <- inf;
+      false
+    end
+  in
+  while bfs () do
+    List.iter (fun v -> if mate.(v) < 0 then ignore (dfs v)) lefts
+  done;
+  mate
+
+let hopcroft_karp g = hopcroft_karp_mask g (Array.make (Digraph.n g) true)
+
+let size mate =
+  let matched_endpoints =
+    Array.fold_left (fun acc m -> if m >= 0 then acc + 1 else acc) 0 mate
+  in
+  matched_endpoints / 2
+
+let is_matching g mate =
+  let n = Digraph.n g in
+  if Array.length mate <> n then false
+  else begin
+    let ok = ref true in
+    let has_edge = Hashtbl.create (Digraph.m g) in
+    Array.iter
+      (fun e ->
+        Hashtbl.replace has_edge
+          (min e.Digraph.src e.Digraph.dst, max e.Digraph.src e.Digraph.dst)
+          ())
+      (Digraph.edges g);
+    for v = 0 to n - 1 do
+      let u = mate.(v) in
+      if u >= 0 then begin
+        if u >= n || mate.(u) <> v then ok := false
+        else if not (Hashtbl.mem has_edge (min u v, max u v)) then ok := false
+      end
+    done;
+    !ok
+  end
+
+let greedy g =
+  let n = Digraph.n g in
+  let mate = Array.make n (-1) in
+  Array.iter
+    (fun e ->
+      let u = e.Digraph.src and v = e.Digraph.dst in
+      if u <> v && mate.(u) < 0 && mate.(v) < 0 then begin
+        mate.(u) <- v;
+        mate.(v) <- u
+      end)
+    (Digraph.edges g);
+  mate

@@ -1,0 +1,23 @@
+(** Centralized bipartite maximum matching (Hopcroft-Karp).
+
+    Reference oracle for the distributed matching algorithm of Theorem 4.
+    A matching is represented by a mate array: [mate.(v)] is the matched
+    partner of [v], or [-1] when [v] is unmatched. *)
+
+(** [hopcroft_karp g] is a maximum matching of the undirected bipartite
+    graph [g]. @raise Invalid_argument if [g] is not bipartite. *)
+val hopcroft_karp : Digraph.t -> int array
+
+(** [hopcroft_karp_mask g mask] restricts the graph to masked-in
+    vertices. *)
+val hopcroft_karp_mask : Digraph.t -> bool array -> int array
+
+(** [size mate] is the number of matched edges. *)
+val size : int array -> int
+
+(** [is_matching g mate] checks consistency: mates are mutual and every
+    matched pair is joined by an edge of [g]. *)
+val is_matching : Digraph.t -> int array -> bool
+
+(** [greedy g] is a maximal (not maximum) matching; baseline helper. *)
+val greedy : Digraph.t -> int array

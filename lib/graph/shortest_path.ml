@@ -1,0 +1,51 @@
+let inf = Digraph.inf
+
+let dijkstra_gen ?mask g src =
+  let n = Digraph.n g in
+  let allowed v = match mask with None -> true | Some m -> m.(v) in
+  if not (allowed src) then invalid_arg "Shortest_path: source not in mask";
+  let dist = Array.make n inf in
+  let pred = Array.make n (-1) in
+  let queue = Pqueue.create () in
+  dist.(src) <- 0;
+  Pqueue.push queue 0 src;
+  while not (Pqueue.is_empty queue) do
+    let d, v = Pqueue.pop_min queue in
+    if d = dist.(v) then
+      Array.iter
+        (fun ei ->
+          let e = Digraph.edge g ei in
+          let u = Digraph.dst_of g e v in
+          if allowed u then begin
+            let nd = d + e.Digraph.weight in
+            if nd < dist.(u) then begin
+              dist.(u) <- nd;
+              pred.(u) <- ei;
+              Pqueue.push queue nd u
+            end
+          end)
+        (Digraph.out_edges g v)
+  done;
+  (dist, pred)
+
+let dijkstra ?mask g src = fst (dijkstra_gen ?mask g src)
+let dijkstra_tree ?mask g src = dijkstra_gen ?mask g src
+
+let dijkstra_to ?mask g dst = fst (dijkstra_gen ?mask (Digraph.reverse g) dst)
+
+let apsp g = Array.init (Digraph.n g) (fun v -> dijkstra g v)
+
+let path_of_tree g pred dst =
+  let rec collect v acc =
+    let ei = pred.(v) in
+    if ei < 0 then acc
+    else
+      let e = Digraph.edge g ei in
+      let prev =
+        if Digraph.directed g then e.Digraph.src
+        else if e.Digraph.dst = v then e.Digraph.src
+        else e.Digraph.dst
+      in
+      collect prev (ei :: acc)
+  in
+  collect dst []

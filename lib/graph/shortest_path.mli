@@ -1,0 +1,24 @@
+(** Centralized shortest-path algorithms (reference implementations used
+    for local computation inside CONGEST nodes and for test oracles). *)
+
+(** [dijkstra ?mask g src] is the array of weighted distances from [src]
+    following edge orientation. When [mask] is given, only vertices with
+    [mask.(v) = true] participate (the source must be masked in).
+    Unreachable vertices hold [Digraph.inf]. *)
+val dijkstra : ?mask:bool array -> Digraph.t -> int -> int array
+
+(** [dijkstra_to ?mask g dst] is the distance {e to} [dst] from every
+    vertex (runs on the reversed graph). *)
+val dijkstra_to : ?mask:bool array -> Digraph.t -> int -> int array
+
+(** [dijkstra_tree ?mask g src] also returns the predecessor edge id per
+    vertex ([-1] at the source and at unreachable vertices). *)
+val dijkstra_tree : ?mask:bool array -> Digraph.t -> int -> int array * int array
+
+(** [apsp g] is the full distance matrix [d.(u).(v)]. O(n (m + n log n)). *)
+val apsp : Digraph.t -> int array array
+
+(** [path_of_tree g pred dst] reconstructs the edge-id path ending at
+    [dst] from a predecessor array produced by [dijkstra_tree].
+    Returns edges in source-to-destination order. *)
+val path_of_tree : Digraph.t -> int array -> int -> int list

@@ -1,0 +1,19 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+(** [create n] is a structure over elements [0 .. n-1], each in its own set. *)
+val create : int -> t
+
+(** [find uf x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union uf x y] merges the sets of [x] and [y]; returns [true] iff the
+    two were previously in distinct sets. *)
+val union : t -> int -> int -> bool
+
+(** [same uf x y] is true iff [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [count uf] is the current number of disjoint sets. *)
+val count : t -> int

@@ -1,0 +1,75 @@
+module Digraph = Repro_graph.Digraph
+module Traversal = Repro_graph.Traversal
+module Union_find = Repro_graph.Union_find
+module Metrics = Repro_congest.Metrics
+
+type result = { edges : int list; weight : int; phases : int }
+
+let none = (Digraph.inf, -1)
+
+let kruskal g =
+  let n = Digraph.n g in
+  let uf = Union_find.create n in
+  let order =
+    Array.to_list (Digraph.edges g)
+    |> List.filter (fun e -> e.Digraph.src <> e.Digraph.dst)
+    |> List.sort (fun a b ->
+           compare (a.Digraph.weight, a.Digraph.id) (b.Digraph.weight, b.Digraph.id))
+  in
+  let edges =
+    List.filter (fun e -> Union_find.union uf e.Digraph.src e.Digraph.dst) order
+  in
+  {
+    edges = List.sort compare (List.map (fun e -> e.Digraph.id) edges);
+    weight = List.fold_left (fun acc e -> acc + e.Digraph.weight) 0 edges;
+    phases = 0;
+  }
+
+let run g ~metrics =
+  if Digraph.directed g then invalid_arg "Mst.run: graph must be undirected";
+  if not (Traversal.is_connected g) then invalid_arg "Mst.run: graph must be connected";
+  let n = Digraph.n g in
+  let uf = Union_find.create n in
+  let chosen = ref [] in
+  let phases = ref 0 in
+  while Union_find.count uf > 1 do
+    incr phases;
+    (* SNC: every node learns its neighbors' fragment ids *)
+    Metrics.add metrics ~label:"mst/phase" 1;
+    (* local minimum outgoing edge per vertex *)
+    let local_best = Array.make n none in
+    Array.iter
+      (fun e ->
+        let u = e.Digraph.src and v = e.Digraph.dst in
+        if u <> v && not (Union_find.same uf u v) then begin
+          let cand = (e.Digraph.weight, e.Digraph.id) in
+          if cand < local_best.(u) then local_best.(u) <- cand;
+          if cand < local_best.(v) then local_best.(v) <- cand
+        end)
+      (Digraph.edges g);
+    (* one PA per fragment: minimum outgoing edge of the fragment *)
+    let labels = Array.init n (fun v -> Union_find.find uf v) in
+    let parts = Part.of_labels g labels in
+    let best, _stats =
+      Pa.aggregate parts ~op:min
+        ~value:(fun ~part:_ ~vertex -> local_best.(vertex))
+        ~metrics ~label:"mst/phase"
+    in
+    let merged = ref false in
+    Array.iter
+      (fun (w, ei) ->
+        if ei >= 0 then begin
+          let e = Digraph.edge g ei in
+          if Union_find.union uf e.Digraph.src e.Digraph.dst then begin
+            chosen := ei :: !chosen;
+            merged := true;
+            ignore w
+          end
+        end)
+      best;
+    if not !merged then failwith "Mst.run: no progress (unexpected)"
+  done;
+  let weight =
+    List.fold_left (fun acc ei -> acc + (Digraph.edge g ei).Digraph.weight) 0 !chosen
+  in
+  { edges = List.sort compare !chosen; weight; phases = !phases }

@@ -1,0 +1,24 @@
+(** Minimum spanning tree via part-wise aggregation — the flagship
+    low-congestion-shortcut application (Ghaffari-Haeupler [GH16b],
+    cited in Section 1.1 as the Õ(tau D)-round MST for low-treewidth
+    graphs).
+
+    Boruvka: every fragment finds its minimum outgoing edge with one PA
+    (min over members), fragments merge, O(log n) phases. Fragments are
+    vertex-disjoint connected subgraphs, so each phase is exactly one PA
+    invocation plus one SNC round, all measured. *)
+
+type result = {
+  edges : int list;  (** MST edge ids *)
+  weight : int;
+  phases : int;  (** Boruvka phases executed *)
+}
+
+(** [run g ~metrics] computes the MST of the connected undirected graph
+    [g] (ties broken by edge id, so the MST is unique). Rounds charged
+    under ["mst/phase"].
+    @raise Invalid_argument if [g] is directed or disconnected. *)
+val run : Repro_graph.Digraph.t -> metrics:Repro_congest.Metrics.t -> result
+
+(** [kruskal g] — centralized reference (same tie-breaking). *)
+val kruskal : Repro_graph.Digraph.t -> result

@@ -1,0 +1,131 @@
+module Digraph = Repro_graph.Digraph
+
+(* Flow network with explicit residual arcs. *)
+type arc = { dst : int; mutable cap : int; twin : int }
+
+type network = { arcs : arc array ref; adj : int list array; mutable arc_count : int }
+
+let big = Digraph.inf
+
+let make_network nodes = { arcs = ref [||]; adj = Array.make nodes []; arc_count = 0 }
+
+let add_arc net src dst cap =
+  let i = net.arc_count in
+  let fwd = { dst; cap; twin = i + 1 } in
+  let bwd = { dst = src; cap = 0; twin = i } in
+  let arr = !(net.arcs) in
+  let len = Array.length arr in
+  if i + 1 >= len then begin
+    let bigger = Array.make (max 16 (2 * (len + 2))) fwd in
+    Array.blit arr 0 bigger 0 len;
+    net.arcs := bigger
+  end;
+  !(net.arcs).(i) <- fwd;
+  !(net.arcs).(i + 1) <- bwd;
+  net.adj.(src) <- i :: net.adj.(src);
+  net.adj.(dst) <- (i + 1) :: net.adj.(dst);
+  net.arc_count <- net.arc_count + 2
+
+(* one BFS augmenting path of value 1; returns true if pushed *)
+let augment net ~source ~sink =
+  let nodes = Array.length net.adj in
+  let pred_arc = Array.make nodes (-1) in
+  let visited = Array.make nodes false in
+  visited.(source) <- true;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun ai ->
+        let a = !(net.arcs).(ai) in
+        if a.cap > 0 && not visited.(a.dst) then begin
+          visited.(a.dst) <- true;
+          pred_arc.(a.dst) <- ai;
+          if a.dst = sink then found := true else Queue.add a.dst queue
+        end)
+      net.adj.(v)
+  done;
+  if !found then begin
+    let v = ref sink in
+    while !v <> source do
+      let ai = pred_arc.(!v) in
+      let a = !(net.arcs).(ai) in
+      a.cap <- a.cap - 1;
+      !(net.arcs).(a.twin).cap <- !(net.arcs).(a.twin).cap + 1;
+      v := (!(net.arcs).(a.twin)).dst
+    done;
+    true
+  end
+  else false
+
+let min_cut g ~mask ~sources ~sinks ~limit =
+  let n = Digraph.n g in
+  let skeleton = if Digraph.directed g then Digraph.skeleton g else g in
+  let is_source = Array.make n false and is_sink = Array.make n false in
+  List.iter (fun v -> is_source.(v) <- true) sources;
+  List.iter (fun v -> is_sink.(v) <- true) sinks;
+  let overlap = List.exists (fun v -> is_sink.(v)) sources in
+  let touching =
+    Array.exists
+      (fun e ->
+        let u = e.Digraph.src and v = e.Digraph.dst in
+        mask.(u) && mask.(v)
+        && ((is_source.(u) && is_sink.(v)) || (is_sink.(u) && is_source.(v))))
+      (Digraph.edges skeleton)
+  in
+  if overlap || touching then None
+  else begin
+    (* nodes: v_in = 2v, v_out = 2v+1, super source = 2n, super sink = 2n+1 *)
+    let v_in v = 2 * v and v_out v = (2 * v) + 1 in
+    let s = 2 * n and t = (2 * n) + 1 in
+    let net = make_network ((2 * n) + 2) in
+    for v = 0 to n - 1 do
+      if mask.(v) then
+        if is_source.(v) then add_arc net s (v_out v) big
+        else if is_sink.(v) then add_arc net (v_in v) t big
+        else add_arc net (v_in v) (v_out v) 1
+    done;
+    Array.iter
+      (fun e ->
+        let u = e.Digraph.src and v = e.Digraph.dst in
+        if mask.(u) && mask.(v) then begin
+          add_arc net (v_out u) (v_in v) big;
+          add_arc net (v_out v) (v_in u) big
+        end)
+      (Digraph.edges skeleton);
+    let flow = ref 0 in
+    let blocked = ref false in
+    while (not !blocked) && !flow <= limit do
+      if augment net ~source:s ~sink:t then incr flow else blocked := true
+    done;
+    if !flow > limit then None
+    else begin
+      (* residual reachability from s: cut vertex = in-side reachable,
+         out-side not *)
+      let nodes = (2 * n) + 2 in
+      let reach = Array.make nodes false in
+      reach.(s) <- true;
+      let queue = Queue.create () in
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        List.iter
+          (fun ai ->
+            let a = !(net.arcs).(ai) in
+            if a.cap > 0 && not reach.(a.dst) then begin
+              reach.(a.dst) <- true;
+              Queue.add a.dst queue
+            end)
+          net.adj.(v)
+      done;
+      let cut = ref [] in
+      for v = n - 1 downto 0 do
+        if mask.(v) && (not is_source.(v)) && (not is_sink.(v))
+           && reach.(v_in v) && not (reach.(v_out v))
+        then cut := v :: !cut
+      done;
+      Some !cut
+    end
+  end

@@ -1,0 +1,21 @@
+(** Minimum X-Y vertex cut with a size cap — the computational core of
+    the MVC(h,t) subgraph operation (Lemma 8 / Corollary 2 of the paper).
+
+    Solved by unit-capacity max-flow with vertex splitting; at most
+    [limit + 1] augmenting-path phases run, mirroring the paper's
+    reduction of MVC(t) to O(t) reachability computations. *)
+
+(** [min_cut g ~mask ~sources ~sinks ~limit] is [Some cut] where [cut] is
+    a minimum set of vertices (disjoint from [sources] and [sinks]) whose
+    removal disconnects every source from every sink inside the masked
+    subgraph of the skeleton of [g], provided such a cut of size at most
+    [limit] exists. Returns [None] when the cut exceeds [limit], or when
+    the cut size is infinite per the paper's convention (a source
+    coincides with or is adjacent to a sink). *)
+val min_cut :
+  Repro_graph.Digraph.t ->
+  mask:bool array ->
+  sources:int list ->
+  sinks:int list ->
+  limit:int ->
+  int list option

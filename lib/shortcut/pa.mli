@@ -1,0 +1,38 @@
+(** Part-wise aggregation (PA) — the core communication primitive of the
+    paper (Section 2.3), here implemented as pipelined per-part
+    aggregation over a global BFS tree ("tree-restricted shortcuts",
+    [HIZ16]); see DESIGN.md Section 3 for the substitution argument.
+
+    The up-phase (convergecast) and down-phase (broadcast of the result
+    back to every member) are simulated message by message: each tree
+    edge carries one tagged word per round per direction, so the round
+    count is {e measured}, with dilation = tree depth and congestion =
+    the number of parts whose Steiner subtree crosses an edge. *)
+
+type stats = {
+  depth : int;  (** BFS-tree depth (dilation) *)
+  max_load : int;  (** max #parts crossing a tree edge (congestion) *)
+  rounds_up : int;  (** measured convergecast rounds *)
+  rounds_down : int;  (** measured broadcast-back rounds *)
+}
+
+(** [loads tree parts] computes dilation and congestion without running
+    the aggregation (used for charge formulas of derived primitives);
+    [rounds_up]/[rounds_down] are 0. *)
+val loads : Repro_congest.Bfs_tree.tree -> Part.t -> stats
+
+(** [aggregate ?tree parts ~op ~value ~metrics ~label] returns the
+    per-part aggregate [fold op (value p v) over members v of p] (folded
+    in an unspecified order — [op] must be associative and commutative)
+    together with the measured statistics. Every member of part [p]
+    learns entry [p] of the result. Rounds are charged to [metrics] under
+    [label]. When [tree] is omitted a BFS tree rooted at vertex 0 is
+    built (message-level, also charged). *)
+val aggregate :
+  ?tree:Repro_congest.Bfs_tree.tree ->
+  Part.t ->
+  op:('a -> 'a -> 'a) ->
+  value:(part:int -> vertex:int -> 'a) ->
+  metrics:Repro_congest.Metrics.t ->
+  label:string ->
+  'a array * stats

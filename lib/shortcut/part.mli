@@ -1,0 +1,38 @@
+(** Collections of connected subgraphs ("parts") of the communication
+    graph, the objects part-wise aggregation operates on (Section 2.3 and
+    Appendix A.1 of the paper).
+
+    A collection is an array of vertex sets. Vertex-disjoint collections
+    are the common case; {e near-disjoint} collections (Appendix A.1) may
+    share boundary vertices subject to the two conditions checked by
+    {!is_near_disjoint}. *)
+
+type t = {
+  graph : Repro_graph.Digraph.t;  (** the communication skeleton *)
+  members : int array array;  (** vertex set per part *)
+}
+
+(** [make g members] checks that every part is a connected subgraph of the
+    skeleton of [g]. @raise Invalid_argument otherwise. *)
+val make : Repro_graph.Digraph.t -> int array array -> t
+
+(** [of_labels g labels] groups vertices by their label ([-1] = in no
+    part); labels need not be contiguous. *)
+val of_labels : Repro_graph.Digraph.t -> int array -> t
+
+val count : t -> int
+
+(** [parts_of t] maps each vertex to the list of parts containing it. *)
+val parts_of : t -> int list array
+
+val is_vertex_disjoint : t -> bool
+
+(** Near-disjointness (Appendix A.1): (1) for every skeleton edge, at
+    least one endpoint lies in at most one part; (2) the private vertices
+    of each part (those in no other part) induce a connected subgraph. *)
+val is_near_disjoint : t -> bool
+
+(** [make_unchecked g members] skips the connectivity check — used only
+    for charge-basis measurements on collections whose connectivity is
+    guaranteed by construction elsewhere. *)
+val make_unchecked : Repro_graph.Digraph.t -> int array array -> t

@@ -1,0 +1,81 @@
+module Digraph = Repro_graph.Digraph
+
+let popcount m =
+  let rec go acc m = if m = 0 then acc else go (acc + 1) (m land (m - 1)) in
+  go 0 m
+
+let iter_bits m f =
+  let rest = ref m in
+  while !rest <> 0 do
+    let low = !rest land - !rest in
+    (* index of the low bit *)
+    let rec idx i b = if b = 1 then i else idx (i + 1) (b lsr 1) in
+    f (idx 0 low);
+    rest := !rest land lnot low
+  done
+
+let neighbor_masks g =
+  let n = Digraph.n g in
+  let nbr = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      let u = e.Digraph.src and v = e.Digraph.dst in
+      if u <> v then begin
+        nbr.(u) <- nbr.(u) lor (1 lsl v);
+        nbr.(v) <- nbr.(v) lor (1 lsl u)
+      end)
+    (Digraph.edges (Digraph.skeleton g));
+  nbr
+
+(* q(S, v): vertices outside S u {v} adjacent to the component of v in
+   the graph induced by S u {v} *)
+let q nbr s v =
+  let su = s lor (1 lsl v) in
+  let comp = ref (1 lsl v) in
+  let frontier = ref (1 lsl v) in
+  while !frontier <> 0 do
+    let nxt = ref 0 in
+    iter_bits !frontier (fun u -> nxt := !nxt lor nbr.(u));
+    let nxt = !nxt land s land lnot !comp in
+    comp := !comp lor nxt;
+    frontier := nxt
+  done;
+  let boundary = ref 0 in
+  iter_bits !comp (fun u -> boundary := !boundary lor nbr.(u));
+  popcount (!boundary land lnot su)
+
+let solve g =
+  let n = Digraph.n g in
+  if n > 18 then invalid_arg "Exact.treewidth: n > 18";
+  if n = 0 then (0, [||])
+  else begin
+    let nbr = neighbor_masks g in
+    let size = 1 lsl n in
+    let f = Array.make size max_int in
+    let choice = Array.make size (-1) in
+    f.(0) <- -1;
+    for s = 1 to size - 1 do
+      let best = ref max_int and best_v = ref (-1) in
+      iter_bits s (fun v ->
+          let s' = s land lnot (1 lsl v) in
+          let cand = max f.(s') (q nbr s' v) in
+          if cand < !best then begin
+            best := cand;
+            best_v := v
+          end);
+      f.(s) <- !best;
+      choice.(s) <- !best_v
+    done;
+    (* reconstruct: choice.(s) is eliminated last among s *)
+    let order = Array.make n (-1) in
+    let s = ref (size - 1) in
+    for i = n - 1 downto 0 do
+      let v = choice.(!s) in
+      order.(i) <- v;
+      s := !s land lnot (1 lsl v)
+    done;
+    (max 0 f.(size - 1), order)
+  end
+
+let elimination_order g = solve g
+let treewidth g = fst (solve g)

@@ -1,0 +1,17 @@
+(** Exact treewidth for small graphs (n <= 18) by the Held-Karp-style
+    dynamic program over elimination prefixes [Bodlaender et al.]:
+
+      tw(S) = min over v in S of max(tw(S - v), q(S - v, v))
+
+    where q(S, v) counts the vertices outside S u {v} reachable from v
+    through S. Used by tests to certify the heuristic bounds and the
+    treewidth of generator families. *)
+
+(** [treewidth g] is the exact treewidth of the skeleton of [g].
+    @raise Invalid_argument if n > 18. *)
+val treewidth : Repro_graph.Digraph.t -> int
+
+(** [elimination_order g] additionally reconstructs an optimal
+    elimination order (so [Heuristic.of_order] yields a witness
+    decomposition of exactly that width). *)
+val elimination_order : Repro_graph.Digraph.t -> int * int array

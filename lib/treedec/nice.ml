@@ -1,0 +1,142 @@
+module Digraph = Repro_graph.Digraph
+
+type node = Leaf | Introduce of int * t | Forget of int * t | Join of t * t
+and t = { bag : int array; node : node }
+
+let sorted_bag b = Array.of_list (List.sort_uniq compare (Array.to_list b))
+
+(* chain of Introduce nodes building [bag] from the empty bag *)
+let introduce_chain bag =
+  Array.fold_left
+    (fun acc v ->
+      {
+        bag = sorted_bag (Array.append acc.bag [| v |]);
+        node = Introduce (v, acc);
+      })
+    { bag = [||]; node = Leaf }
+    bag
+
+(* lift [sub] (top bag = from) to top bag [target]: forget the extras,
+   then introduce the missing vertices *)
+let lift sub target =
+  let target_list = Array.to_list target in
+  let sub_list = Array.to_list sub.bag in
+  let extras = List.filter (fun v -> not (List.mem v target_list)) sub_list in
+  let missing = List.filter (fun v -> not (List.mem v sub_list)) target_list in
+  let after_forgets =
+    List.fold_left
+      (fun acc v ->
+        {
+          bag = Array.of_list (List.filter (fun u -> u <> v) (Array.to_list acc.bag));
+          node = Forget (v, acc);
+        })
+      sub extras
+  in
+  List.fold_left
+    (fun acc v ->
+      { bag = sorted_bag (Array.append acc.bag [| v |]); node = Introduce (v, acc) })
+    after_forgets missing
+
+let rec balanced_join bag = function
+  | [] -> introduce_chain bag
+  | [ t ] -> t
+  | ts ->
+      let rec pair = function
+        | a :: b :: rest -> { bag; node = Join (a, b) } :: pair rest
+        | rest -> rest
+      in
+      balanced_join bag (pair ts)
+
+let of_decomposition dec =
+  (match Decomposition.validate dec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Nice.of_decomposition: " ^ e));
+  let rec convert key =
+    let bag = sorted_bag (Decomposition.bag dec key) in
+    match Decomposition.children dec key with
+    | [] -> introduce_chain bag
+    | children ->
+        let lifted =
+          List.map (fun i -> lift (convert (key @ [ i ])) bag) children
+        in
+        balanced_join bag lifted
+  in
+  let top = convert [] in
+  (* canonical form: forget everything so the root bag is empty *)
+  lift top [||]
+
+let width t =
+  let rec go acc = function
+    | [] -> acc
+    | t :: rest ->
+        let acc = max acc (Array.length t.bag - 1) in
+        let rest =
+          match t.node with
+          | Leaf -> rest
+          | Introduce (_, c) | Forget (_, c) -> c :: rest
+          | Join (a, b) -> a :: b :: rest
+        in
+        go acc rest
+  in
+  go 0 [ t ]
+
+let size t =
+  let rec go acc = function
+    | [] -> acc
+    | t :: rest ->
+        let rest =
+          match t.node with
+          | Leaf -> rest
+          | Introduce (_, c) | Forget (_, c) -> c :: rest
+          | Join (a, b) -> a :: b :: rest
+        in
+        go (acc + 1) rest
+  in
+  go 0 [ t ]
+
+let validate g t =
+  let ( let* ) r f = Result.bind r f in
+  let mem v bag = Array.exists (fun u -> u = v) bag in
+  let equal_bags a b = sorted_bag a = sorted_bag b in
+  (* structural invariants *)
+  let rec structure t =
+    match t.node with
+    | Leaf ->
+        if Array.length t.bag = 0 then Ok () else Error "leaf bag must be empty"
+    | Introduce (v, c) ->
+        if not (mem v t.bag) then Error "introduced vertex not in bag"
+        else if mem v c.bag then Error "introduced vertex already in child bag"
+        else if
+          not (equal_bags c.bag (Array.of_list (List.filter (fun u -> u <> v) (Array.to_list t.bag))))
+        then Error "introduce: bags differ by more than the vertex"
+        else structure c
+    | Forget (v, c) ->
+        if mem v t.bag then Error "forgotten vertex still in bag"
+        else if not (mem v c.bag) then Error "forgotten vertex not in child bag"
+        else if
+          not (equal_bags t.bag (Array.of_list (List.filter (fun u -> u <> v) (Array.to_list c.bag))))
+        then Error "forget: bags differ by more than the vertex"
+        else
+          let* () = structure c in
+          Ok ()
+    | Join (a, b) ->
+        if not (equal_bags t.bag a.bag && equal_bags t.bag b.bag) then
+          Error "join children bags differ"
+        else
+          let* () = structure a in
+          structure b
+  in
+  let* () = structure t in
+  (* ordinary tree-decomposition conditions, via the generic checker *)
+  let assoc = ref [] in
+  let rec collect key t =
+    assoc := (key, t.bag) :: !assoc;
+    match t.node with
+    | Leaf -> ()
+    | Introduce (_, c) | Forget (_, c) -> collect (key @ [ 0 ]) c
+    | Join (a, b) ->
+        collect (key @ [ 0 ]) a;
+        collect (key @ [ 1 ]) b
+  in
+  collect [] t;
+  Decomposition.validate (Decomposition.create g !assoc)

@@ -1,0 +1,35 @@
+(** Nice tree decompositions.
+
+    A nice decomposition has four node kinds — leaf (empty bag),
+    introduce (adds one vertex), forget (removes one vertex), join (two
+    children with equal bags) — the normal form dynamic programming over
+    tree decompositions is usually written against [CFK+15, Chapter 7].
+    Converting an arbitrary decomposition preserves the width and grows
+    the tree by a factor O(width · n).
+
+    This powers the tree-decomposition {e applications} the paper cites
+    from [Li18]: once a decomposition is distributed, optimal solutions
+    of NP-hard problems follow by a bottom-up DP whose communication is
+    one aggregation per decomposition level (see {!Repro_core.Dp}). *)
+
+type node =
+  | Leaf
+  | Introduce of int * t  (** vertex added w.r.t. the child *)
+  | Forget of int * t  (** vertex removed w.r.t. the child *)
+  | Join of t * t  (** both children have the same bag *)
+
+and t = { bag : int array;  (** sorted *) node : node }
+
+(** [of_decomposition dec] converts; the result covers the same graph.
+    @raise Invalid_argument if [dec] is invalid. *)
+val of_decomposition : Decomposition.t -> t
+
+(** [width t] is max bag size - 1 (at least 0 for nonempty graphs). *)
+val width : t -> int
+
+(** [size t] is the number of nice nodes. *)
+val size : t -> int
+
+(** [validate g t] checks the nice-decomposition invariants plus the
+    ordinary tree-decomposition conditions w.r.t. [g]. *)
+val validate : Repro_graph.Digraph.t -> t -> (unit, string) result

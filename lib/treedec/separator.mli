@@ -1,0 +1,73 @@
+(** The SEP balanced-separator algorithm of Section 3.3 / Lemma 1.
+
+    Given a connected masked subgraph G' of the communication graph and a
+    target set X, SEP with parameter [t] either outputs an
+    (X, alpha)-balanced separator of size O(t^2) or fails; the driver
+    doubles [t] until success ({!find_separator}). Communication is
+    priced through {!Repro_shortcut.Primitives.cost} so that parallel
+    instances can be combined with Theorem 6.
+
+    Two constant profiles are provided: {!paper_profile} uses the paper's
+    exact constants (balance 14399/14400, 95 sampled pairs, threshold
+    200 t^2 — meaningful only asymptotically), while {!practical_profile}
+    scales them down so that the algorithm exercises its full logic on
+    laptop-size instances (DESIGN.md E6 ablates the difference). *)
+
+type profile = {
+  name : string;
+  threshold_factor : int;  (** step 1 fires when mu(G) <= factor * t^2 *)
+  iter_num : int;
+  iter_den : int;  (** iterations = ceil(iter_num * t / iter_den) *)
+  pairs : int;  (** sampled tree pairs per iteration (step 4) *)
+  balance_num : int;
+  balance_den : int;  (** separator balance alpha = num/den *)
+  split_lo_den : int;  (** split tree min weight = mu(G) / (lo_den * t) *)
+  split_hi_den : int;  (** split tree max weight = mu(G) / (hi_den * t) *)
+  trials : int;  (** step 4 retries before concluding t is too small *)
+  centralized_base : bool;
+      (** when the step-1 threshold fires (the subgraph is small enough to
+          gather centrally), return a min-fill-derived balanced bag
+          instead of all of X. The paper outputs X (asymptotically
+          irrelevant); the practical profile enables the centralized base
+          for far better widths at laptop sizes. *)
+}
+
+val paper_profile : profile
+val practical_profile : profile
+
+(** [is_balanced g ~mask ~x_mask ~profile sep] checks that removing [sep]
+    from the masked subgraph leaves components of X-weight at most
+    [alpha * mu_X(mask)]. *)
+val is_balanced :
+  Repro_graph.Digraph.t ->
+  mask:bool array ->
+  x_mask:bool array ->
+  profile:profile ->
+  int list ->
+  bool
+
+(** [sep ?profile ~rng g ~mask ~x_mask ~t ~cost] runs one SEP attempt
+    with parameter [t]; [None] means "conclude tau + 1 > t". The masked
+    subgraph must be connected and nonempty. *)
+val sep :
+  ?profile:profile ->
+  rng:Random.State.t ->
+  Repro_graph.Digraph.t ->
+  mask:bool array ->
+  x_mask:bool array ->
+  t:int ->
+  cost:Repro_shortcut.Primitives.cost ->
+  int list option
+
+(** [find_separator ?profile ?seed g ~mask ~x_mask ~cost] doubles [t]
+    starting from 2 until SEP succeeds (always terminates: step 1 fires
+    once [t^2] exceeds the subgraph weight). Returns the separator and
+    the final [t]. *)
+val find_separator :
+  ?profile:profile ->
+  ?seed:int ->
+  Repro_graph.Digraph.t ->
+  mask:bool array ->
+  x_mask:bool array ->
+  cost:Repro_shortcut.Primitives.cost ->
+  int list * int

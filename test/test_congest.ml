@@ -1,0 +1,357 @@
+module Digraph = Repro_graph.Digraph
+module Traversal = Repro_graph.Traversal
+module Shortest_path = Repro_graph.Shortest_path
+module Generators = Repro_graph.Generators
+module Metrics = Repro_congest.Metrics
+module Engine = Repro_congest.Engine
+module Bfs_tree = Repro_congest.Bfs_tree
+module Broadcast = Repro_congest.Broadcast
+module Leader = Repro_congest.Leader
+module Bellman_ford = Repro_congest.Bellman_ford
+module Apsp = Repro_congest.Apsp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_accumulates () =
+  let m = Metrics.create () in
+  Metrics.add m ~label:"a" 3;
+  Metrics.add m ~label:"b" 2;
+  Metrics.add m ~label:"a" 1;
+  Metrics.add_messages m 10;
+  check_int "rounds" 6 (Metrics.rounds m);
+  check_int "messages" 10 (Metrics.messages m);
+  Alcotest.(check (list (pair string int))) "breakdown" [ ("a", 4); ("b", 2) ]
+    (Metrics.breakdown m)
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add a ~label:"x" 2;
+  Metrics.add b ~label:"x" 3;
+  Metrics.add b ~label:"y" 1;
+  Metrics.add_messages b 5;
+  Metrics.merge ~into:a b;
+  check_int "merged rounds" 6 (Metrics.rounds a);
+  check_int "merged messages" 5 (Metrics.messages a)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+module IntMsg = struct
+  type t = int
+
+  let words _ = 1
+end
+
+module E = Engine.Make (IntMsg)
+
+let test_engine_enforces_bandwidth () =
+  let sk = Generators.path 2 in
+  let m = Metrics.create () in
+  let ran = ref false in
+  (try
+     ignore
+       (E.run sk
+          ~init:(fun _ -> true)
+          ~step:(fun ~round:_ ~node st _ ->
+            if node = 0 && st then (false, [ (1, 1); (1, 2) ]) else (false, []))
+          ~active:Fun.id ~metrics:m ~label:"t" ());
+     ran := true
+   with Invalid_argument _ -> ());
+  check_bool "duplicate send rejected" false !ran
+
+let test_engine_rejects_non_neighbor () =
+  let sk = Generators.path 3 in
+  let m = Metrics.create () in
+  Alcotest.check_raises "non neighbor"
+    (Invalid_argument "Engine.run(t): node 0 sent to non-neighbor 2") (fun () ->
+      ignore
+        (E.run sk
+           ~init:(fun _ -> true)
+           ~step:(fun ~round:_ ~node st _ ->
+             if node = 0 && st then (false, [ (2, 1) ]) else (false, []))
+           ~active:Fun.id ~metrics:m ~label:"t" ()))
+
+let test_engine_counts_rounds () =
+  (* one hop of communication = 2 engine rounds: send round + delivery round *)
+  let sk = Generators.path 2 in
+  let m = Metrics.create () in
+  let states =
+    E.run sk
+      ~init:(fun v -> if v = 0 then 1 else 0)
+      ~step:(fun ~round:_ ~node:_ st inbox ->
+        match inbox with
+        | (_, v) :: _ -> (st + (10 * v), [])
+        | [] -> if st = 1 then (2, [ (1, 7) ]) else (st, []))
+      ~active:(fun st -> st = 1)
+      ~metrics:m ~label:"t" ()
+  in
+  check_int "receiver got it" 70 states.(1);
+  check_bool "bounded rounds" true (Metrics.rounds m <= 3);
+  check_int "one message" 1 (Metrics.messages m)
+
+(* ------------------------------------------------------------------ *)
+(* BFS tree *)
+
+let test_bfs_tree_grid () =
+  let g = Generators.grid 5 6 in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build g ~root:0 ~metrics:m in
+  let expected = Traversal.bfs_undirected g 0 in
+  Alcotest.(check (array int)) "distances match centralized BFS" expected t.Bfs_tree.dist;
+  check_int "depth" 9 t.Bfs_tree.depth;
+  check_int "root parent" 0 t.Bfs_tree.parent.(0);
+  (* rounds proportional to depth *)
+  check_bool "rounds ~ depth" true (Metrics.rounds m <= (3 * t.Bfs_tree.depth) + 5)
+
+let test_bfs_tree_parents_consistent () =
+  let g = Generators.k_tree ~seed:5 60 3 in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build g ~root:7 ~metrics:m in
+  Array.iteri
+    (fun v p ->
+      if v <> 7 then begin
+        check_bool "has parent" true (p >= 0);
+        check_int "parent one closer" (t.Bfs_tree.dist.(v) - 1) t.Bfs_tree.dist.(p)
+      end)
+    t.Bfs_tree.parent
+
+let prop_bfs_tree_matches_centralized =
+  QCheck.Test.make ~name:"distributed BFS distances = centralized" ~count:30
+    QCheck.(pair (int_range 0 500) (int_range 5 40))
+    (fun (seed, n) ->
+      let g = Generators.gnp_connected ~seed n 0.1 in
+      let m = Metrics.create () in
+      let t = Bfs_tree.build g ~root:(seed mod n) ~metrics:m in
+      t.Bfs_tree.dist = Traversal.bfs_undirected g (seed mod n))
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast primitives *)
+
+let test_flood () =
+  let g = Generators.cycle 10 in
+  let m = Metrics.create () in
+  let got = Broadcast.flood g ~root:3 ~value:99 ~metrics:m in
+  Array.iter (fun v -> check_int "all received" 99 v) got
+
+let test_convergecast_sum () =
+  let g = Generators.grid 4 4 in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build g ~root:0 ~metrics:m in
+  let values = Array.init 16 Fun.id in
+  check_int "sum" 120 (Broadcast.convergecast t ~op:( + ) ~values ~metrics:m)
+
+let test_convergecast_single_node () =
+  let g = Generators.path 1 in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build g ~root:0 ~metrics:m in
+  check_int "singleton" 42 (Broadcast.convergecast t ~op:( + ) ~values:[| 42 |] ~metrics:m)
+
+let test_stream_down_pipelines () =
+  let g = Generators.path 10 in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build g ~root:0 ~metrics:m in
+  let before = Metrics.rounds m in
+  let items = List.init 20 Fun.id in
+  let got = Broadcast.stream_down t ~items ~metrics:m in
+  Array.iter (fun l -> Alcotest.(check (list int)) "items in order" items l) got;
+  let used = Metrics.rounds m - before in
+  (* pipelining: depth 9 + 20 items, not depth * items *)
+  check_bool "pipelined" true (used <= 9 + 20 + 3)
+
+(* ------------------------------------------------------------------ *)
+(* Leader election *)
+
+let test_leader_is_min_id () =
+  let g = Generators.k_tree ~seed:11 40 2 in
+  let m = Metrics.create () in
+  check_int "leader" 0 (Leader.elect g ~metrics:m)
+
+(* ------------------------------------------------------------------ *)
+(* Bellman-Ford *)
+
+let test_bellman_ford_exact () =
+  let g = Generators.bidirect ~seed:3 ~max_weight:9 (Generators.k_tree ~seed:2 40 3) in
+  let m = Metrics.create () in
+  let d = Bellman_ford.run g ~source:0 ~metrics:m in
+  Alcotest.(check (array int)) "matches dijkstra" (Shortest_path.dijkstra g 0) d
+
+let test_bellman_ford_undirected () =
+  let g = Generators.random_weights ~seed:4 ~max_weight:7 (Generators.grid 4 5) in
+  let m = Metrics.create () in
+  let d = Bellman_ford.run g ~source:10 ~metrics:m in
+  Alcotest.(check (array int)) "matches dijkstra" (Shortest_path.dijkstra g 10) d
+
+let prop_bellman_ford =
+  QCheck.Test.make ~name:"bellman-ford = dijkstra on random digraphs" ~count:25
+    QCheck.(pair (int_range 0 500) (int_range 6 30))
+    (fun (seed, n) ->
+      let g =
+        Generators.bidirect ~seed ~max_weight:12 (Generators.gnp_connected ~seed n 0.12)
+      in
+      let m = Metrics.create () in
+      Bellman_ford.run g ~source:(seed mod n) ~metrics:m
+      = Shortest_path.dijkstra g (seed mod n))
+
+(* ------------------------------------------------------------------ *)
+(* APSP / diameter baseline *)
+
+let test_apsp_matches_bfs () =
+  let g = Generators.grid 3 5 in
+  let m = Metrics.create () in
+  let d = Apsp.hop_distances g ~metrics:m in
+  for v = 0 to Digraph.n g - 1 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "row %d" v)
+      (Traversal.bfs_undirected g v) d.(v)
+  done
+
+let test_diameter_baseline () =
+  let g = Generators.cycle 12 in
+  let m = Metrics.create () in
+  check_int "cycle diameter" 6 (Apsp.diameter g ~metrics:m)
+
+let test_diameter_baseline_scales_linearly () =
+  (* the baseline needs Omega(n) rounds even on low-treewidth graphs: this
+     is the contrast side of the separation experiment E5b *)
+  let rounds n =
+    let g = Generators.apex_cliques ~cliques:(n / 4) ~size:4 in
+    let m = Metrics.create () in
+    ignore (Apsp.diameter g ~metrics:m);
+    Metrics.rounds m
+  in
+  let r1 = rounds 40 and r2 = rounds 80 in
+  check_bool "grows at least linearly" true (r2 >= (3 * r1) / 2)
+
+
+(* ------------------------------------------------------------------ *)
+(* Message-level connected components *)
+
+let test_flood_components_match_centralized () =
+  let g = Generators.grid 5 5 in
+  let mask = Array.init 25 (fun v -> v mod 7 <> 3) in
+  let m = Metrics.create () in
+  let labels = Repro_congest.Components.flood_labels g ~mask ~metrics:m in
+  let expected, _ = Traversal.components_mask g mask in
+  for u = 0 to 24 do
+    for v = 0 to 24 do
+      if mask.(u) && mask.(v) then
+        check_bool "same grouping" true
+          ((labels.(u) = labels.(v)) = (expected.(u) = expected.(v)))
+      else if not mask.(u) then check_int "outside mask" (-1) labels.(u)
+    done
+  done;
+  check_bool "rounds measured" true (Metrics.rounds m > 0)
+
+let prop_flood_components =
+  QCheck.Test.make ~name:"flooded components = centralized components" ~count:30
+    QCheck.(pair (int_range 0 500) (int_range 6 30))
+    (fun (seed, n) ->
+      let seed = abs seed and n = max 6 (min 30 n) in
+      let g = Generators.gnp_connected ~seed n 0.15 in
+      let rng = Random.State.make [| seed; 9 |] in
+      let mask = Array.init n (fun _ -> Random.State.float rng 1.0 > 0.3) in
+      let m = Metrics.create () in
+      let labels = Repro_congest.Components.flood_labels g ~mask ~metrics:m in
+      let expected, _ = Traversal.components_mask g mask in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if mask.(u) && mask.(v)
+             && (labels.(u) = labels.(v)) <> (expected.(u) = expected.(v))
+          then ok := false
+        done
+      done;
+      !ok)
+
+
+(* ------------------------------------------------------------------ *)
+(* Multi-instance BFS (Theorem 6 at message level) *)
+
+let test_multi_bfs_exact () =
+  let g = Generators.k_tree ~seed:13 40 3 in
+  let roots = [ 0; 7; 19; 33 ] in
+  let m = Metrics.create () in
+  let r = Repro_congest.Multi_bfs.run g ~roots ~metrics:m () in
+  List.iteri
+    (fun i root ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "instance %d" i)
+        (Traversal.bfs_undirected g root)
+        r.Repro_congest.Multi_bfs.dist.(i))
+    roots
+
+let test_multi_bfs_scheduling_beats_sequential () =
+  let g = Generators.grid 8 8 in
+  let d = Traversal.diameter g in
+  let k = 16 in
+  let roots = List.init k (fun i -> (i * 4) mod 64) in
+  let m = Metrics.create () in
+  let r = Repro_congest.Multi_bfs.run g ~roots ~seed:3 ~metrics:m () in
+  (* Theorem 6 shape: ~ D + k, far below the sequential k * D *)
+  check_bool "near dilation + congestion" true
+    (r.Repro_congest.Multi_bfs.rounds <= 4 * (d + k));
+  check_bool "beats sequential" true (r.Repro_congest.Multi_bfs.rounds < k * d)
+
+let test_diameter_two_approx_bounds () =
+  List.iter
+    (fun g ->
+      let m = Metrics.create () in
+      let approx = Apsp.diameter_two_approx g ~metrics:m in
+      let exact = Traversal.diameter g in
+      check_bool "lower bound" true (approx <= exact);
+      check_bool "within factor 2" true (exact <= 2 * approx);
+      (* O(D) rounds, not Omega(n) *)
+      check_bool "cheap" true (Metrics.rounds m <= (6 * exact) + 10))
+    [ Generators.cycle 20; Generators.grid 5 5; Generators.k_tree ~seed:3 50 3 ]
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest [ prop_bfs_tree_matches_centralized; prop_bellman_ford; prop_flood_components ]
+  in
+  Alcotest.run "repro_congest"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "accumulates" `Quick test_metrics_accumulates;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "bandwidth" `Quick test_engine_enforces_bandwidth;
+          Alcotest.test_case "non neighbor" `Quick test_engine_rejects_non_neighbor;
+          Alcotest.test_case "round counting" `Quick test_engine_counts_rounds;
+        ] );
+      ( "bfs tree",
+        [
+          Alcotest.test_case "grid" `Quick test_bfs_tree_grid;
+          Alcotest.test_case "parents" `Quick test_bfs_tree_parents_consistent;
+        ] );
+      ( "broadcast",
+        [
+          Alcotest.test_case "flood" `Quick test_flood;
+          Alcotest.test_case "convergecast" `Quick test_convergecast_sum;
+          Alcotest.test_case "convergecast singleton" `Quick test_convergecast_single_node;
+          Alcotest.test_case "stream pipelines" `Quick test_stream_down_pipelines;
+        ] );
+      ("leader", [ Alcotest.test_case "min id" `Quick test_leader_is_min_id ]);
+      ( "bellman-ford",
+        [
+          Alcotest.test_case "directed" `Quick test_bellman_ford_exact;
+          Alcotest.test_case "undirected" `Quick test_bellman_ford_undirected;
+        ] );
+      ( "apsp",
+        [
+          Alcotest.test_case "matches bfs" `Quick test_apsp_matches_bfs;
+          Alcotest.test_case "diameter" `Quick test_diameter_baseline;
+          Alcotest.test_case "linear scaling" `Quick test_diameter_baseline_scales_linearly;
+          Alcotest.test_case "two approx" `Quick test_diameter_two_approx_bounds;
+          Alcotest.test_case "flood components" `Quick test_flood_components_match_centralized;
+          Alcotest.test_case "multi bfs exact" `Quick test_multi_bfs_exact;
+          Alcotest.test_case "multi bfs scheduling" `Quick test_multi_bfs_scheduling_beats_sequential;
+        ] );
+      ("properties", qsuite);
+    ]

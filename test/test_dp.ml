@@ -1,0 +1,297 @@
+module Digraph = Repro_graph.Digraph
+module Generators = Repro_graph.Generators
+module Metrics = Repro_congest.Metrics
+module Decomposition = Repro_treedec.Decomposition
+module Heuristic = Repro_treedec.Heuristic
+module Nice = Repro_treedec.Nice
+module Build = Repro_treedec.Build
+module Dp = Repro_core.Dp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* brute-force oracles (n <= ~16) *)
+
+let adjacency g =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      Hashtbl.replace tbl (e.Digraph.src, e.Digraph.dst) ();
+      Hashtbl.replace tbl (e.Digraph.dst, e.Digraph.src) ())
+    (Digraph.edges (Digraph.skeleton g));
+  fun u v -> Hashtbl.mem tbl (u, v)
+
+let brute_mis ?weights g =
+  let n = Digraph.n g in
+  let adj = adjacency g in
+  let w v = match weights with Some ws -> ws.(v) | None -> 1 in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let ok = ref true and weight = ref 0 in
+    for u = 0 to n - 1 do
+      if mask land (1 lsl u) <> 0 then begin
+        weight := !weight + w u;
+        for v = u + 1 to n - 1 do
+          if mask land (1 lsl v) <> 0 && adj u v then ok := false
+        done
+      end
+    done;
+    if !ok && !weight > !best then best := !weight
+  done;
+  !best
+
+let brute_domset g =
+  let n = Digraph.n g in
+  let skeleton = Digraph.skeleton g in
+  let best = ref n in
+  for mask = 0 to (1 lsl n) - 1 do
+    let dominated = Array.make n false in
+    let size = ref 0 in
+    for v = 0 to n - 1 do
+      if mask land (1 lsl v) <> 0 then begin
+        incr size;
+        dominated.(v) <- true;
+        Array.iter (fun u -> dominated.(u) <- true) (Digraph.neighbors skeleton v)
+      end
+    done;
+    if Array.for_all Fun.id dominated && !size < !best then best := !size
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Nice decomposition *)
+
+let check_valid_nice g nice =
+  match Nice.validate g nice with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid nice decomposition: %s" e
+
+let test_nice_path () =
+  let g = Generators.path 8 in
+  let nice = Nice.of_decomposition (Heuristic.min_fill g) in
+  check_valid_nice g nice;
+  check_int "width preserved" 1 (Nice.width nice);
+  check_bool "more nodes than bags" true (Nice.size nice >= 8)
+
+let test_nice_ktree () =
+  let g = Generators.k_tree ~seed:2 20 3 in
+  let dec = Heuristic.min_fill g in
+  let nice = Nice.of_decomposition dec in
+  check_valid_nice g nice;
+  check_int "width preserved" (Decomposition.width dec) (Nice.width nice)
+
+let test_nice_from_distributed () =
+  let g = Generators.partial_k_tree ~seed:3 30 2 ~keep:0.6 in
+  let m = Metrics.create () in
+  let dec = (Build.decompose ~seed:3 g ~metrics:m).Build.decomposition in
+  let nice = Nice.of_decomposition dec in
+  check_valid_nice g nice;
+  check_int "width preserved" (Decomposition.width dec) (Nice.width nice)
+
+let test_nice_rejects_invalid () =
+  let g = Generators.cycle 3 in
+  let dec = Decomposition.create g [ ([], [| 0; 1 |]) ] in
+  check_bool "raises" true
+    (try
+       ignore (Nice.of_decomposition dec);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_nice_always_valid =
+  QCheck.Test.make ~name:"nice conversion preserves validity and width" ~count:25
+    QCheck.(pair (int_range 0 1000) (int_range 6 25))
+    (fun (seed, n) ->
+      let seed = abs seed and n = max 6 (min 25 n) in
+      let g = Generators.gnp_connected ~seed n 0.2 in
+      let dec = Heuristic.min_fill g in
+      let nice = Nice.of_decomposition dec in
+      Nice.validate g nice = Ok () && Nice.width nice = Decomposition.width dec)
+
+(* ------------------------------------------------------------------ *)
+(* DP: maximum independent set / vertex cover *)
+
+let mis_of g =
+  let nice = Nice.of_decomposition (Heuristic.min_fill g) in
+  let m = Metrics.create () in
+  (Dp.max_weight_independent_set g nice ~metrics:m, m)
+
+let test_mis_path () =
+  let r, m = mis_of (Generators.path 7) in
+  check_int "alternate vertices" 4 r.Dp.value;
+  check_bool "rounds charged" true (Metrics.rounds m > 0)
+
+let test_mis_cycle () =
+  let r, _ = mis_of (Generators.cycle 7) in
+  check_int "floor(7/2)" 3 r.Dp.value
+
+let test_mis_complete () =
+  let r, _ = mis_of (Generators.complete 6) in
+  check_int "single vertex" 1 r.Dp.value
+
+let test_mis_weighted () =
+  let g = Generators.path 4 in
+  let weights = [| 1; 10; 10; 1 |] in
+  let nice = Nice.of_decomposition (Heuristic.min_fill g) in
+  let m = Metrics.create () in
+  let r = Dp.max_weight_independent_set ~weights g nice ~metrics:m in
+  (* vertices 1 and 3 (or 0 and 2) are adjacent-free: best is {1,3}=11 *)
+  check_int "weighted optimum" 11 r.Dp.value;
+  check_int "brute force agrees" (brute_mis ~weights g) r.Dp.value
+
+let test_vertex_cover_grid () =
+  let g = Generators.grid 3 3 in
+  let nice = Nice.of_decomposition (Heuristic.min_fill g) in
+  let m = Metrics.create () in
+  let r = Dp.min_vertex_cover g nice ~metrics:m in
+  check_int "3x3 grid cover" 4 r.Dp.value
+
+let prop_mis_matches_brute_force =
+  QCheck.Test.make ~name:"DP independent set = brute force" ~count:20
+    QCheck.(pair (int_range 0 1000) (int_range 5 14))
+    (fun (seed, n) ->
+      let seed = abs seed and n = max 5 (min 14 n) in
+      let g = Generators.gnp_connected ~seed n 0.3 in
+      let nice = Nice.of_decomposition (Heuristic.min_fill g) in
+      let m = Metrics.create () in
+      let r = Dp.max_weight_independent_set g nice ~metrics:m in
+      r.Dp.value = brute_mis g)
+
+(* ------------------------------------------------------------------ *)
+(* DP: minimum dominating set *)
+
+let domset_of g =
+  let nice = Nice.of_decomposition (Heuristic.min_fill g) in
+  let m = Metrics.create () in
+  Dp.min_dominating_set g nice ~metrics:m
+
+let test_domset_star () =
+  check_int "center dominates" 1 (domset_of (Generators.star 8)).Dp.value
+
+let test_domset_path () =
+  check_int "ceil(7/3)" 3 (domset_of (Generators.path 7)).Dp.value
+
+let test_domset_cycle () =
+  check_int "ceil(9/3)" 3 (domset_of (Generators.cycle 9)).Dp.value
+
+let test_domset_grid () =
+  let g = Generators.grid 3 4 in
+  check_int "brute force agrees" (brute_domset g) (domset_of g).Dp.value
+
+let prop_domset_matches_brute_force =
+  QCheck.Test.make ~name:"DP dominating set = brute force" ~count:15
+    QCheck.(pair (int_range 0 1000) (int_range 5 13))
+    (fun (seed, n) ->
+      let seed = abs seed and n = max 5 (min 13 n) in
+      let g = Generators.gnp_connected ~seed n 0.25 in
+      (domset_of g).Dp.value = brute_domset g)
+
+
+(* ------------------------------------------------------------------ *)
+(* DP: Steiner tree *)
+
+let brute_steiner g terminals =
+  (* min over supersets S of terminals: MST weight of induced(S) if
+     connected *)
+  let n = Digraph.n g in
+  let term_mask = List.fold_left (fun m t -> m lor (1 lsl t)) 0 terminals in
+  let best = ref Digraph.inf in
+  for mask = 0 to (1 lsl n) - 1 do
+    if mask land term_mask = term_mask then begin
+      let vs = List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id) in
+      let sub, _, _ = Digraph.induced g vs in
+      if Repro_graph.Traversal.is_connected sub && Digraph.n sub > 0 then begin
+        let mst = Repro_shortcut.Mst.kruskal sub in
+        if List.length mst.Repro_shortcut.Mst.edges = Digraph.n sub - 1 then
+          best := min !best mst.Repro_shortcut.Mst.weight
+      end
+    end
+  done;
+  !best
+
+let steiner_of g terminals =
+  let nice = Nice.of_decomposition (Heuristic.min_fill g) in
+  let m = Metrics.create () in
+  Dp.steiner_tree g nice ~terminals ~metrics:m
+
+let test_steiner_two_terminals_is_shortest_path () =
+  let g = Generators.random_weights ~seed:31 ~max_weight:9 (Generators.cycle 8) in
+  let r = steiner_of g [ 0; 4 ] in
+  check_int "= shortest path" (Repro_graph.Shortest_path.dijkstra g 0).(4) r.Dp.value
+
+let test_steiner_single_terminal () =
+  let g = Generators.path 5 in
+  let r = steiner_of g [ 3 ] in
+  check_int "zero cost" 0 r.Dp.value;
+  check_int "no edges" 0 (List.length r.Dp.witness)
+
+let test_steiner_no_terminals () =
+  let g = Generators.path 4 in
+  check_int "empty" 0 (steiner_of g []).Dp.value
+
+let test_steiner_all_of_a_tree () =
+  let g = Generators.random_weights ~seed:32 ~max_weight:9 (Generators.binary_tree 3) in
+  let r = steiner_of g (List.init (Digraph.n g) Fun.id) in
+  check_int "whole tree" (Digraph.total_weight g) r.Dp.value
+
+let test_steiner_star_center_shortcut () =
+  (* terminals = 3 leaves of a star: optimum buys the 3 spokes *)
+  let g = Generators.star 6 in
+  let r = steiner_of g [ 1; 3; 5 ] in
+  check_int "three spokes" 3 r.Dp.value
+
+let prop_steiner_matches_brute_force =
+  QCheck.Test.make ~name:"DP Steiner tree = brute force" ~count:15
+    QCheck.(pair (int_range 0 1000) (int_range 5 10))
+    (fun (seed, n) ->
+      let seed = abs seed and n = max 5 (min 10 n) in
+      let g =
+        Generators.random_weights ~seed ~max_weight:8 (Generators.gnp_connected ~seed n 0.3)
+      in
+      let rng = Random.State.make [| seed; 3 |] in
+      let terminals =
+        List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id)
+      in
+      let terminals = if terminals = [] then [ 0 ] else terminals in
+      (steiner_of g terminals).Dp.value = brute_steiner g terminals)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_nice_always_valid; prop_mis_matches_brute_force; prop_domset_matches_brute_force;
+        prop_steiner_matches_brute_force ]
+  in
+  Alcotest.run "repro_dp"
+    [
+      ( "nice",
+        [
+          Alcotest.test_case "path" `Quick test_nice_path;
+          Alcotest.test_case "k-tree" `Quick test_nice_ktree;
+          Alcotest.test_case "from distributed" `Quick test_nice_from_distributed;
+          Alcotest.test_case "rejects invalid" `Quick test_nice_rejects_invalid;
+        ] );
+      ( "independent set",
+        [
+          Alcotest.test_case "path" `Quick test_mis_path;
+          Alcotest.test_case "cycle" `Quick test_mis_cycle;
+          Alcotest.test_case "complete" `Quick test_mis_complete;
+          Alcotest.test_case "weighted" `Quick test_mis_weighted;
+          Alcotest.test_case "vertex cover" `Quick test_vertex_cover_grid;
+        ] );
+      ( "dominating set",
+        [
+          Alcotest.test_case "star" `Quick test_domset_star;
+          Alcotest.test_case "path" `Quick test_domset_path;
+          Alcotest.test_case "cycle" `Quick test_domset_cycle;
+          Alcotest.test_case "grid" `Quick test_domset_grid;
+        ] );
+      ( "steiner tree",
+        [
+          Alcotest.test_case "two terminals" `Quick test_steiner_two_terminals_is_shortest_path;
+          Alcotest.test_case "single terminal" `Quick test_steiner_single_terminal;
+          Alcotest.test_case "no terminals" `Quick test_steiner_no_terminals;
+          Alcotest.test_case "spanning a tree" `Quick test_steiner_all_of_a_tree;
+          Alcotest.test_case "star" `Quick test_steiner_star_center_shortcut;
+        ] );
+      ("properties", qsuite);
+    ]

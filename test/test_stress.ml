@@ -1,0 +1,175 @@
+(* Randomized stress suite: wider sweeps than the per-module property
+   tests, mixing families, orientations, multi-edges and self-loops.
+   Everything is validated against a centralized oracle. *)
+
+module Digraph = Repro_graph.Digraph
+module Traversal = Repro_graph.Traversal
+module Shortest_path = Repro_graph.Shortest_path
+module Generators = Repro_graph.Generators
+module Matching_ref = Repro_graph.Matching_ref
+module Girth_ref = Repro_graph.Girth_ref
+module Metrics = Repro_congest.Metrics
+module Decomposition = Repro_treedec.Decomposition
+module Heuristic = Repro_treedec.Heuristic
+module Separator = Repro_treedec.Separator
+module Build = Repro_treedec.Build
+module Labeling = Repro_core.Labeling
+module Dl = Repro_core.Dl
+module Stateful = Repro_core.Stateful
+module Product = Repro_core.Product
+module Cdl = Repro_core.Cdl
+module Matching = Repro_core.Matching
+module Girth = Repro_core.Girth
+
+let check_int = Alcotest.(check int)
+
+(* a zoo of weighted instances, some directed, some with parallel edges
+   and self-loops *)
+let instance seed =
+  let rng = Random.State.make [| seed; 0xabcd |] in
+  let base =
+    match seed mod 5 with
+    | 0 -> Generators.partial_k_tree ~seed (40 + (3 * (seed mod 30))) 2 ~keep:0.5
+    | 1 -> Generators.partial_k_tree ~seed (40 + (2 * (seed mod 25))) 3 ~keep:0.6
+    | 2 -> Generators.series_parallel ~seed (30 + (2 * (seed mod 20)))
+    | 3 -> Generators.grid (3 + (seed mod 3)) (4 + (seed mod 4))
+    | _ -> Generators.gnp_connected ~seed (14 + (seed mod 12)) 0.2
+  in
+  let weighted = Generators.random_weights ~seed ~max_weight:11 base in
+  if seed mod 3 = 0 then Generators.bidirect ~seed ~max_weight:11 weighted
+  else if seed mod 7 = 1 then begin
+    (* sprinkle parallel edges *)
+    let extra =
+      Array.to_list (Digraph.edges weighted)
+      |> List.filter (fun _ -> Random.State.float rng 1.0 < 0.15)
+      |> List.map (fun e ->
+             (e.Digraph.src, e.Digraph.dst, 1 + Random.State.int rng 11))
+    in
+    Digraph.create ~directed:false (Digraph.n weighted)
+      (extra
+      @ (Array.to_list (Digraph.edges weighted)
+        |> List.map (fun e -> (e.Digraph.src, e.Digraph.dst, e.Digraph.weight))))
+  end
+  else weighted
+
+let test_dl_stress () =
+  for seed = 0 to 29 do
+    let g = instance seed in
+    let m = Metrics.create () in
+    let report = Build.decompose ~seed g ~metrics:m in
+    (match Decomposition.validate report.Build.decomposition with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: invalid decomposition: %s" seed e);
+    let labels = Dl.build g report.Build.decomposition ~metrics:m in
+    let n = Digraph.n g in
+    let rng = Random.State.make [| seed; 0x5117 |] in
+    for _ = 1 to 40 do
+      let u = Random.State.int rng n in
+      let v = Random.State.int rng n in
+      check_int
+        (Printf.sprintf "seed %d d(%d,%d)" seed u v)
+        (Shortest_path.dijkstra g u).(v)
+        (Labeling.decode labels.(u) labels.(v))
+    done
+  done
+
+let test_matching_stress () =
+  for seed = 0 to 14 do
+    let g = Generators.subdivide (Generators.partial_k_tree ~seed (18 + (2 * seed)) 2 ~keep:0.5) in
+    let m = Metrics.create () in
+    let r = Matching.run ~seed g ~metrics:m in
+    if not (Matching_ref.is_matching (Digraph.skeleton g) r.Matching.mate) then
+      Alcotest.failf "seed %d: invalid matching" seed;
+    check_int
+      (Printf.sprintf "seed %d matching size" seed)
+      (Matching_ref.size (Matching_ref.hopcroft_karp (Digraph.skeleton g)))
+      r.Matching.size
+  done
+
+let test_girth_stress () =
+  for seed = 0 to 19 do
+    let g = instance seed in
+    let m = Metrics.create () in
+    let r =
+      if Digraph.directed g then Girth.directed ~seed g ~metrics:m
+      else Girth.undirected ~mode:`PerEdge ~seed g ~metrics:m
+    in
+    check_int (Printf.sprintf "seed %d girth" seed) (Girth_ref.girth g) r.Girth.girth
+  done
+
+let test_cdl_stress () =
+  for seed = 0 to 7 do
+    let rng = Random.State.make [| seed; 0xfeed |] in
+    let g0 = Generators.partial_k_tree ~seed 14 2 ~keep:0.6 in
+    let g =
+      Digraph.with_labels
+        (Generators.random_weights ~seed ~max_weight:6 g0)
+        (fun _ -> Random.State.int rng 3)
+    in
+    let spec =
+      if seed mod 2 = 0 then Stateful.colored ~colors:3 else Stateful.count ~limit:2
+    in
+    let m = Metrics.create () in
+    let cdl = Cdl.build ~dec:(Heuristic.min_fill g0) ~seed g spec ~metrics:m in
+    let p = Cdl.product cdl in
+    for src = 0 to 13 do
+      for dst = 0 to 13 do
+        for q = 2 to spec.Stateful.q_size - 1 do
+          check_int
+            (Printf.sprintf "seed %d q=%d %d->%d" seed q src dst)
+            (Product.constrained_distance p ~q ~src ~dst)
+            (Cdl.sdec cdl ~q ~src ~dst)
+        done
+      done
+    done
+  done
+
+let test_separator_profiles_stress () =
+  List.iter
+    (fun profile ->
+      for seed = 0 to 9 do
+        let g = instance seed in
+        let sk = Digraph.skeleton g in
+        let mask = Array.make (Digraph.n sk) true in
+        let cost = Repro_shortcut.Primitives.cost_zero () in
+        let sep, _ = Separator.find_separator ~profile ~seed sk ~mask ~x_mask:mask ~cost in
+        if not (Separator.is_balanced sk ~mask ~x_mask:mask ~profile sep) then
+          Alcotest.failf "profile %s seed %d: unbalanced separator"
+            profile.Separator.name seed
+      done)
+    [ Separator.paper_profile; Separator.practical_profile ]
+
+
+let test_scale_1024 () =
+  (* end-to-end at n=1024: decomposition valid, labels exact on a sample *)
+  let g =
+    Generators.bidirect ~seed:1024 ~max_weight:9
+      (Generators.partial_k_tree ~seed:1024 1024 3 ~keep:0.6)
+  in
+  let m = Metrics.create () in
+  let report = Build.decompose ~seed:2 g ~metrics:m in
+  (match Decomposition.validate report.Build.decomposition with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "n=1024: %s" e);
+  let labels = Dl.build g report.Build.decomposition ~metrics:m in
+  let rng = Random.State.make [| 1024 |] in
+  for _ = 1 to 15 do
+    let u = Random.State.int rng 1024 in
+    let d = Shortest_path.dijkstra g u in
+    let v = Random.State.int rng 1024 in
+    check_int (Printf.sprintf "d(%d,%d)" u v) d.(v) (Labeling.decode labels.(u) labels.(v))
+  done
+
+let () =
+  Alcotest.run "repro_stress"
+    [
+      ( "stress",
+        [
+          Alcotest.test_case "distance labeling zoo" `Slow test_dl_stress;
+          Alcotest.test_case "matching zoo" `Slow test_matching_stress;
+          Alcotest.test_case "girth zoo" `Slow test_girth_stress;
+          Alcotest.test_case "cdl zoo" `Slow test_cdl_stress;
+          Alcotest.test_case "separator profiles" `Slow test_separator_profiles_stress;
+          Alcotest.test_case "scale n=1024" `Slow test_scale_1024;
+        ] );
+    ]
