@@ -16,6 +16,8 @@ module Matching_ref = Repro_graph.Matching_ref
 module Girth_ref = Repro_graph.Girth_ref
 module Metrics = Repro_congest.Metrics
 module Bellman_ford = Repro_congest.Bellman_ford
+module Bfs_tree = Repro_congest.Bfs_tree
+module Fault = Repro_congest.Fault
 module Apsp = Repro_congest.Apsp
 module Part = Repro_shortcut.Part
 module Pa = Repro_shortcut.Pa
@@ -579,6 +581,52 @@ let e8 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E-F1: reliable transport overhead under fault injection *)
+
+let ef1 () =
+  header "E-F1: reliable-transport round overhead vs drop rate (fault injection)"
+    "outputs exact for any drop < 1; ~1x overhead when fault-free, growing \
+     superlinearly in p (exponential-backoff tail dominates)";
+  table_header
+    [
+      cell 16 "family"; cell 5 "n"; cell 5 "drop"; cell 9 "raw bfs"; cell 9 "reliable";
+      cell 9 "overhead"; cell 8 "retrans"; cell 8 "dropped"; cell 6 "exact";
+    ];
+  let families =
+    [
+      ("partial 2-tree", ptk ~seed:66 64 2);
+      ("partial 3-tree", ptk ~seed:131 128 3);
+      ("cycle", Generators.cycle 128);
+      ("grid 8x8", Generators.grid 8 8);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let expected = Traversal.bfs_undirected g 0 in
+      let raw =
+        let m = Metrics.create () in
+        ignore (Bfs_tree.build g ~root:0 ~metrics:m);
+        Metrics.rounds m
+      in
+      List.iter
+        (fun drop ->
+          let m = Metrics.create () in
+          let faults = Fault.create ~seed:1 (Fault.profile ~drop ()) in
+          let t = Bfs_tree.build ~faults ~reliable:true g ~root:0 ~metrics:m in
+          Printf.printf "   %s | %s | %s | %s | %s | %s | %s | %s | %s\n" (cell 16 name)
+            (cell 5 (string_of_int (Digraph.n g)))
+            (cell 5 (Printf.sprintf "%.2f" drop))
+            (cell 9 (string_of_int raw))
+            (cell 9 (string_of_int (Metrics.rounds m)))
+            (cell 9
+               (Printf.sprintf "%.1fx" (float_of_int (Metrics.rounds m) /. float_of_int raw)))
+            (cell 8 (string_of_int (Metrics.retransmissions m)))
+            (cell 8 (string_of_int (Metrics.dropped m)))
+            (cell 6 (if t.Bfs_tree.dist = expected then "yes" else "NO")))
+        [ 0.0; 0.1; 0.2; 0.3; 0.5 ])
+    families
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock micro-benchmarks (Bechamel) *)
 
 let micro () =
@@ -634,7 +682,7 @@ let experiments =
   [
     ("E1", e1); ("E2a", e2a); ("E2b", e2b); ("E3", e3); ("E4", e4);
     ("E5a", e5a); ("E5b", e5b); ("E6a", e6a); ("E6b", e6b); ("E6c", e6c); ("E6d", e6d);
-    ("E7", e7); ("E8", e8); ("micro", micro);
+    ("E7", e7); ("E8", e8); ("EF1", ef1); ("micro", micro);
   ]
 
 let () =

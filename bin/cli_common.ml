@@ -3,6 +3,7 @@
 module Digraph = Repro_graph.Digraph
 module Generators = Repro_graph.Generators
 module Metrics = Repro_congest.Metrics
+module Fault = Repro_congest.Fault
 open Cmdliner
 
 type family =
@@ -99,6 +100,66 @@ let build_graph input family n k seed max_weight directed =
 let graph_t =
   Term.(
     const build_graph $ input_t $ family_t $ n_t $ k_t $ seed_t $ weights_t $ directed_t)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (DESIGN.md "Fault model"): message-level phases run
+   under a seeded adversary, over the reliable transport unless
+   --unreliable asks for raw faulty links. *)
+
+type fault_config = { faults : Fault.t option; reliable : bool }
+
+let drop_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability in [0,1).")
+
+let dup_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability in [0,1).")
+
+let delay_t =
+  Arg.(
+    value & opt int 0
+    & info [ "delay" ] ~docv:"D"
+        ~doc:"Maximum extra rounds a message copy may be held (reordering).")
+
+let fault_seed_t =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the fault adversary.")
+
+let unreliable_t =
+  Arg.(
+    value & flag
+    & info [ "unreliable" ]
+        ~doc:
+          "Run message-level phases on raw faulty links instead of the \
+           acknowledged transport (demonstrates fragility; the oracle check \
+           will typically fail).")
+
+let make_fault_config drop dup delay fault_seed unreliable =
+  if drop = 0.0 && dup = 0.0 && delay = 0 then Ok { faults = None; reliable = false }
+  else
+    match Fault.profile ~drop ~duplicate:dup ~max_delay:delay () with
+    | profile ->
+        Ok
+          {
+            faults = Some (Fault.create ~seed:fault_seed profile);
+            reliable = not unreliable;
+          }
+    | exception Invalid_argument msg -> Error msg
+
+let fault_config_t =
+  Term.term_result' ~usage:true
+    Term.(const make_fault_config $ drop_t $ dup_t $ delay_t $ fault_seed_t $ unreliable_t)
+
+let print_fault_config fc =
+  match fc.faults with
+  | None -> ()
+  | Some f ->
+      Format.printf "%a over %s links@." Fault.pp f
+        (if fc.reliable then "reliable-transport" else "raw")
 
 let print_metrics m =
   Format.printf "%a@." Metrics.pp m

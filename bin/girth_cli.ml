@@ -19,12 +19,14 @@ let mode_conv =
   in
   Arg.conv (parse, print)
 
-let run g mode =
+let run g mode fc =
   Cli_common.print_graph_summary g;
+  Cli_common.print_fault_config fc;
+  let faults = fc.Cli_common.faults and reliable = fc.Cli_common.reliable in
   let m = Metrics.create () in
   let r =
-    if Digraph.directed g then Girth.directed g ~metrics:m
-    else Girth.undirected ~mode g ~metrics:m
+    if Digraph.directed g then Girth.directed ?faults ~reliable g ~metrics:m
+    else Girth.undirected ~mode ?faults ~reliable g ~metrics:m
   in
   let reference = Girth_ref.girth g in
   let show v = if v >= Digraph.inf then "inf" else string_of_int v in
@@ -34,7 +36,10 @@ let run g mode =
      else if r.Girth.girth > reference then "upper bound (increase trials)"
      else "MISMATCH");
   Format.printf "trials: %d@." r.Girth.trials;
-  Cli_common.print_metrics m
+  Cli_common.print_metrics m;
+  (* oracle validation: below the reference is always wrong; when a fault
+     profile was requested any deviation means reliability failed *)
+  if r.Girth.girth < reference || (faults <> None && r.Girth.girth <> reference) then exit 1
 
 let mode_t =
   Arg.(
@@ -46,6 +51,6 @@ let mode_t =
 let cmd =
   Cmd.v
     (Cmd.info "girth_cli" ~doc:"Weighted girth (Theorem 5)")
-    Term.(const run $ Cli_common.graph_t $ mode_t)
+    Term.(const run $ Cli_common.graph_t $ mode_t $ Cli_common.fault_config_t)
 
 let () = exit (Cmd.eval cmd)

@@ -2,13 +2,16 @@ module Digraph = Repro_graph.Digraph
 
 type state = { dist : int; pending : bool }
 
-module E = Engine.Make (struct
+module Word = struct
   type t = int
 
   let words _ = 1
-end)
+end
 
-let run g ~source ~metrics =
+module E = Engine.Make (Word)
+module T = Transport.Make (Word)
+
+let run ?faults ?(reliable = false) g ~source ~metrics =
   let n = Digraph.n g in
   let skeleton = Digraph.skeleton g in
   let neighbors = Array.init n (Digraph.neighbors skeleton) in
@@ -40,13 +43,14 @@ let run g ~source ~metrics =
         Array.to_list (Array.map (fun u -> (u, st.dist)) neighbors.(node)) )
     else (st, [])
   in
+  let init v =
+    if v = source then { dist = 0; pending = true }
+    else { dist = Digraph.inf; pending = false }
+  in
+  let active st = st.pending in
   let states =
-    E.run skeleton
-      ~init:(fun v ->
-        if v = source then { dist = 0; pending = true }
-        else { dist = Digraph.inf; pending = false })
-      ~step
-      ~active:(fun st -> st.pending)
-      ~metrics ~label:"bellman-ford" ()
+    if reliable then
+      T.run skeleton ?faults ~init ~step ~active ~metrics ~label:"bellman-ford" ()
+    else E.run skeleton ?faults ~init ~step ~active ~metrics ~label:"bellman-ford" ()
   in
   Array.map (fun st -> st.dist) states

@@ -5,5 +5,15 @@
     in both directions, relaxation respects edge orientation. *)
 
 (** [run g ~source ~metrics] returns the exact distance array from
-    [source]. Rounds charged under ["bellman-ford"]. *)
-val run : Repro_graph.Digraph.t -> source:int -> metrics:Metrics.t -> int array
+    [source]. Rounds charged under ["bellman-ford"].
+
+    [faults] injects link/node faults ({!Fault}); [reliable] (default
+    false) runs over the acknowledged {!Transport}, restoring exact
+    distances under any drop probability < 1. *)
+val run :
+  ?faults:Fault.t ->
+  ?reliable:bool ->
+  Repro_graph.Digraph.t ->
+  source:int ->
+  metrics:Metrics.t ->
+  int array

@@ -4,13 +4,16 @@ type tree = { root : int; parent : int array; dist : int array; depth : int }
 
 type state = { d : int; par : int; pending : bool }
 
-module E = Engine.Make (struct
+module Word = struct
   type t = int
 
   let words _ = 1
-end)
+end
 
-let build skeleton ~root ~metrics =
+module E = Engine.Make (Word)
+module T = Transport.Make (Word)
+
+let build ?faults ?(reliable = false) skeleton ~root ~metrics =
   let inf = Digraph.inf in
   let n = Digraph.n skeleton in
   let neighbors = Array.init n (Digraph.neighbors skeleton) in
@@ -36,7 +39,12 @@ let build skeleton ~root ~metrics =
     else (st, [])
   in
   let states =
-    E.run skeleton ~init ~step ~active:(fun st -> st.pending) ~metrics ~label:"bfs-tree" ()
+    if reliable then
+      T.run skeleton ?faults ~init ~step ~active:(fun st -> st.pending) ~metrics
+        ~label:"bfs-tree" ()
+    else
+      E.run skeleton ?faults ~init ~step ~active:(fun st -> st.pending) ~metrics
+        ~label:"bfs-tree" ()
   in
   let parent = Array.map (fun st -> st.par) states in
   let dist = Array.map (fun st -> st.d) states in

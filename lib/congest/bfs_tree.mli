@@ -12,8 +12,19 @@ type tree = {
 }
 
 (** [build skeleton ~root ~metrics] runs the flood on the communication
-    graph and returns the tree. Rounds are charged under ["bfs-tree"]. *)
-val build : Repro_graph.Digraph.t -> root:int -> metrics:Metrics.t -> tree
+    graph and returns the tree. Rounds are charged under ["bfs-tree"].
+
+    [faults] injects link/node faults ({!Fault}); [reliable] (default
+    false) runs the same step function over the acknowledged
+    {!Transport} instead of raw links, restoring exact distances under
+    any drop probability < 1. *)
+val build :
+  ?faults:Fault.t ->
+  ?reliable:bool ->
+  Repro_graph.Digraph.t ->
+  root:int ->
+  metrics:Metrics.t ->
+  tree
 
 (** [children t v] lists the tree children of [v]. O(n) per call. *)
 val children : tree -> int -> int list

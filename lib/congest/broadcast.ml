@@ -7,10 +7,16 @@ module Word = struct
 end
 
 module E = Engine.Make (Word)
+module T = Transport.Make (Word)
+
+(* dispatch an execution to the raw engine or the reliable transport *)
+let run_via ~reliable ?faults skeleton ~init ~step ~active ~metrics ~label =
+  if reliable then T.run skeleton ?faults ~init ~step ~active ~metrics ~label ()
+  else E.run skeleton ?faults ~init ~step ~active ~metrics ~label ()
 
 type flood_state = { value : int option; pending : bool }
 
-let flood skeleton ~root ~value ~metrics =
+let flood ?faults ?(reliable = false) skeleton ~root ~value ~metrics =
   let n = Digraph.n skeleton in
   let neighbors = Array.init n (Digraph.neighbors skeleton) in
   let step ~round:_ ~node st inbox =
@@ -27,19 +33,19 @@ let flood skeleton ~root ~value ~metrics =
     else (st, [])
   in
   let states =
-    E.run skeleton
+    run_via ~reliable ?faults skeleton
       ~init:(fun v ->
         if v = root then { value = Some value; pending = true }
         else { value = None; pending = false })
       ~step
       ~active:(fun st -> st.pending)
-      ~metrics ~label:"flood" ()
+      ~metrics ~label:"flood"
   in
   Array.map (fun st -> match st.value with Some v -> v | None -> Digraph.inf) states
 
 type cc_state = { acc : int; waiting : int; sent : bool }
 
-let convergecast tree ~op ~values ~metrics =
+let convergecast ?faults ?(reliable = false) tree ~op ~values ~metrics =
   let n = Array.length tree.Bfs_tree.parent in
   let child_count = Array.make n 0 in
   Array.iteri
@@ -58,22 +64,25 @@ let convergecast tree ~op ~values ~metrics =
         st inbox
     in
     if st.waiting = 0 && not st.sent then
-      if node = tree.Bfs_tree.root then ({ st with sent = true }, [])
+      (* a node with no parent (possible when the tree was built over
+         faulty links) has nowhere to report; it keeps its local result *)
+      if node = tree.Bfs_tree.root || tree.Bfs_tree.parent.(node) < 0 then
+        ({ st with sent = true }, [])
       else ({ st with sent = true }, [ (tree.Bfs_tree.parent.(node), st.acc) ])
     else (st, [])
   in
   let states =
-    E.run tree_graph
+    run_via ~reliable ?faults tree_graph
       ~init:(fun v -> { acc = values.(v); waiting = child_count.(v); sent = false })
       ~step
       ~active:(fun st -> st.waiting = 0 && not st.sent)
-      ~metrics ~label:"convergecast" ()
+      ~metrics ~label:"convergecast"
   in
   states.(tree.Bfs_tree.root).acc
 
 type stream_state = { queue : int list; got : int list }
 
-let stream_down tree ~items ~metrics =
+let stream_down ?faults ?(reliable = false) tree ~items ~metrics =
   let n = Array.length tree.Bfs_tree.parent in
   let children = Array.make n [] in
   Array.iteri
@@ -94,12 +103,12 @@ let stream_down tree ~items ~metrics =
         ({ st with queue = rest }, List.map (fun c -> (c, item)) children.(node))
   in
   let states =
-    E.run tree_graph
+    run_via ~reliable ?faults tree_graph
       ~init:(fun v ->
         if v = tree.Bfs_tree.root then { queue = items; got = List.rev items }
         else { queue = []; got = [] })
       ~step
       ~active:(fun st -> st.queue <> [])
-      ~metrics ~label:"stream" ()
+      ~metrics ~label:"stream"
   in
   Array.map (fun st -> List.rev st.got) states

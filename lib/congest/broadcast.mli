@@ -2,19 +2,41 @@
     (message-level building blocks for the subgraph operations of
     Appendix A of the paper). *)
 
+(** Each primitive optionally takes a fault adversary ([faults], {!Fault})
+    and a [reliable] switch (default false) that reruns the identical step
+    function over the acknowledged {!Transport} instead of raw links. *)
+
 (** [flood skeleton ~root ~value ~metrics] floods a one-word [value];
     returns what every node learned. O(D) rounds, label ["flood"]. *)
 val flood :
-  Repro_graph.Digraph.t -> root:int -> value:int -> metrics:Metrics.t -> int array
+  ?faults:Fault.t ->
+  ?reliable:bool ->
+  Repro_graph.Digraph.t ->
+  root:int ->
+  value:int ->
+  metrics:Metrics.t ->
+  int array
 
 (** [convergecast tree ~op ~values ~metrics] aggregates one word per node
     up the BFS tree with associative [op]; returns the root's aggregate.
     O(depth) rounds, label ["convergecast"]. *)
 val convergecast :
-  Bfs_tree.tree -> op:(int -> int -> int) -> values:int array -> metrics:Metrics.t -> int
+  ?faults:Fault.t ->
+  ?reliable:bool ->
+  Bfs_tree.tree ->
+  op:(int -> int -> int) ->
+  values:int array ->
+  metrics:Metrics.t ->
+  int
 
 (** [stream_down tree ~items ~metrics] pipelines a list of one-word items
     from the root to every node (depth + |items| rounds, label
-    ["stream"]); returns the items received per node (all equal). *)
+    ["stream"]); returns the items received per node (all equal). Per-link
+    FIFO of {!Transport} preserves item order under faults. *)
 val stream_down :
-  Bfs_tree.tree -> items:int list -> metrics:Metrics.t -> int list array
+  ?faults:Fault.t ->
+  ?reliable:bool ->
+  Bfs_tree.tree ->
+  items:int list ->
+  metrics:Metrics.t ->
+  int list array

@@ -2,6 +2,18 @@ module Digraph = Repro_graph.Digraph
 
 let default_max_words = 4
 
+exception
+  Round_limit_exceeded of { label : string; rounds : int; active_nodes : int }
+
+let () =
+  Printexc.register_printer (function
+    | Round_limit_exceeded { label; rounds; active_nodes } ->
+        Some
+          (Printf.sprintf
+             "Engine.Round_limit_exceeded(%s): %d rounds elapsed, %d nodes still active"
+             label rounds active_nodes)
+    | _ -> None)
+
 module type MSG = sig
   type t
 
@@ -12,8 +24,8 @@ module Make (M : MSG) = struct
   type inbox = (int * M.t) list
   type outbox = (int * M.t) list
 
-  let run skeleton ~init ~step ~active ?(max_rounds = 10_000_000) ?(max_words = default_max_words)
-      ~metrics ~label () =
+  let run skeleton ~init ~step ~active ?faults ?(max_rounds = 10_000_000)
+      ?(max_words = default_max_words) ~metrics ~label () =
     if Digraph.directed skeleton then
       invalid_arg "Engine.run: communication network must be undirected";
     let n = Digraph.n skeleton in
@@ -27,37 +39,97 @@ module Make (M : MSG) = struct
     let inboxes = Array.make n [] in
     let round = ref 0 in
     let in_flight = ref false in
-    let continue () = !in_flight || Array.exists active states in
+    (* copies held back by a delay fault: (deliver_round, dst, src, msg) *)
+    let delayed = ref [] in
+    let crashed v = match faults with None -> false | Some f -> Fault.crashed f ~round:!round v in
+    let live_active v =
+      active states.(v)
+      && match faults with
+         | None -> true
+         | Some f -> not (Fault.crash_stopped f ~round:!round v)
+    in
+    let count_active () =
+      let c = ref 0 in
+      for v = 0 to n - 1 do
+        if live_active v then incr c
+      done;
+      !c
+    in
+    let continue () =
+      !in_flight || !delayed <> []
+      || (let v = ref 0 and found = ref false in
+          while (not !found) && !v < n do
+            if live_active !v then found := true;
+            incr v
+          done;
+          !found)
+    in
     while continue () do
       if !round >= max_rounds then
-        failwith (Printf.sprintf "Engine.run(%s): exceeded %d rounds" label max_rounds);
+        raise
+          (Round_limit_exceeded
+             { label; rounds = !round; active_nodes = count_active () });
       let next_inboxes = Array.make n [] in
       let sent_this_round = ref 0 in
+      (* deliver a copy into the round-[r] inboxes, dropping it if the
+         receiver is down at delivery time *)
+      let deliver ~deliver_round dst src msg =
+        let receiver_down =
+          match faults with
+          | None -> false
+          | Some f -> Fault.crashed f ~round:deliver_round dst
+        in
+        if receiver_down then Metrics.add_dropped metrics 1
+        else next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst)
+      in
       for v = 0 to n - 1 do
-        let inbox = inboxes.(v) in
-        let st, outbox = step ~round:!round ~node:v states.(v) inbox in
-        states.(v) <- st;
-        let sent_to = Hashtbl.create 4 in
-        List.iter
-          (fun (u, msg) ->
-            if not (Hashtbl.mem neighbor_sets.(v) u) then
-              invalid_arg
-                (Printf.sprintf "Engine.run(%s): node %d sent to non-neighbor %d" label v u);
-            if Hashtbl.mem sent_to u then
-              invalid_arg
-                (Printf.sprintf
-                   "Engine.run(%s): node %d sent two messages to %d in one round" label v u);
-            Hashtbl.add sent_to u ();
-            let w = M.words msg in
-            if w < 1 || w > max_words then
-              invalid_arg
-                (Printf.sprintf "Engine.run(%s): message of %d words (cap %d)" label w max_words);
-            incr sent_this_round;
-            next_inboxes.(u) <- (v, msg) :: next_inboxes.(u))
-          outbox
+        if not (crashed v) then begin
+          (* contract: inboxes are presented sorted by sender id, so
+             algorithms cannot depend on delivery-schedule accidents *)
+          let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(v) in
+          let st, outbox = step ~round:!round ~node:v states.(v) inbox in
+          states.(v) <- st;
+          let sent_to = Hashtbl.create 4 in
+          List.iter
+            (fun (u, msg) ->
+              if not (Hashtbl.mem neighbor_sets.(v) u) then
+                invalid_arg
+                  (Printf.sprintf "Engine.run(%s): node %d sent to non-neighbor %d" label v u);
+              if Hashtbl.mem sent_to u then
+                invalid_arg
+                  (Printf.sprintf
+                     "Engine.run(%s): node %d sent two messages to %d in one round" label v u);
+              Hashtbl.add sent_to u ();
+              let w = M.words msg in
+              if w < 1 || w > max_words then
+                invalid_arg
+                  (Printf.sprintf "Engine.run(%s): message of %d words (cap %d)" label w
+                     max_words);
+              incr sent_this_round;
+              match faults with
+              | None -> deliver ~deliver_round:(!round + 1) u v msg
+              | Some f -> (
+                  match Fault.plan f ~round:!round ~src:v ~dst:u with
+                  | [] -> Metrics.add_dropped metrics 1
+                  | delays ->
+                      if List.length delays > 1 then
+                        Metrics.add_duplicated metrics (List.length delays - 1);
+                      List.iter
+                        (fun extra ->
+                          if extra = 0 then deliver ~deliver_round:(!round + 1) u v msg
+                          else delayed := (!round + 1 + extra, u, v, msg) :: !delayed)
+                        delays))
+            outbox
+        end
       done;
+      (* copies whose delay matured this round join the next inboxes *)
+      let matured, still_held =
+        List.partition (fun (dr, _, _, _) -> dr = !round + 1) !delayed
+      in
+      delayed := still_held;
+      List.iter (fun (dr, dst, src, msg) -> deliver ~deliver_round:dr dst src msg) matured;
       Array.blit next_inboxes 0 inboxes 0 n;
-      in_flight := !sent_this_round > 0;
+      in_flight := Array.exists (fun ib -> ib <> []) inboxes;
       Metrics.add_messages metrics !sent_this_round;
       incr round;
       Metrics.add metrics ~label 1

@@ -8,7 +8,18 @@
 
     Algorithms are given as a [step] function. The engine enforces the
     bandwidth constraint and counts rounds and messages into a
-    {!Metrics.t}. *)
+    {!Metrics.t}.
+
+    Links are reliable by default. An optional {!Fault.t} adversary can
+    drop, duplicate, and delay messages and take nodes down according to
+    a seeded, reproducible schedule (DESIGN.md "Fault model"); layer
+    {!Transport} on top to get reliable delivery back over such links. *)
+
+(** Raised when [run] exceeds its round budget: carries the metrics
+    label of the execution, the number of rounds elapsed, and how many
+    nodes still wanted another round. *)
+exception
+  Round_limit_exceeded of { label : string; rounds : int; active_nodes : int }
 
 module type MSG = sig
   type t
@@ -19,7 +30,11 @@ module type MSG = sig
 end
 
 module Make (M : MSG) : sig
-  (** Inbox entry: [(sender, message)]. *)
+  (** Inbox entry: [(sender, message)]. Inboxes are presented to [step]
+      sorted by ascending sender id — an explicit contract, so algorithms
+      cannot silently depend on delivery-schedule accidents (and so
+      reordering faults are meaningful). Under a duplication fault the
+      same sender may appear more than once. *)
   type inbox = (int * M.t) list
 
   (** Outbox entry: [(receiver, message)]. The receiver must be a neighbor
@@ -28,7 +43,7 @@ module Make (M : MSG) : sig
 
   (** [run skeleton ~init ~step ~active ~metrics ~label ()] executes the
       algorithm until no node is active and no message is in flight, or
-      until [max_rounds] elapses (then raises [Failure]).
+      until [max_rounds] elapses (then raises {!Round_limit_exceeded}).
 
       - [init v] is node [v]'s initial state.
       - [step ~round ~node st inbox] returns the new state and outbox.
@@ -36,6 +51,12 @@ module Make (M : MSG) : sig
         messages arrived).
       - [active st] declares a node that wants another round even if it
         received nothing (e.g. it still has queued sends).
+      - [faults], when given, is applied between outbox collection and
+        inbox delivery: dropped and duplicated copies are charged to
+        [metrics]; a crashed node neither steps (state frozen) nor sends,
+        and messages addressed to it at delivery time are dropped.
+        Crash-stop nodes are excluded from the liveness check so they
+        cannot livelock the run.
       - Rounds consumed are charged to [metrics] under [label].
 
       @raise Invalid_argument on bandwidth violation (two messages to the
@@ -46,6 +67,7 @@ module Make (M : MSG) : sig
     init:(int -> 'st) ->
     step:(round:int -> node:int -> 'st -> inbox -> 'st * outbox) ->
     active:('st -> bool) ->
+    ?faults:Fault.t ->
     ?max_rounds:int ->
     ?max_words:int ->
     metrics:Metrics.t ->

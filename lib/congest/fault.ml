@@ -1,0 +1,61 @@
+type crash = { node : int; from_round : int; until_round : int option }
+
+type profile = {
+  drop : float;
+  duplicate : float;
+  max_delay : int;
+  crashes : crash list;
+}
+
+let reliable = { drop = 0.0; duplicate = 0.0; max_delay = 0; crashes = [] }
+
+let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(crashes = []) () =
+  let check_prob name p =
+    if p < 0.0 || p >= 1.0 then
+      invalid_arg (Printf.sprintf "Fault.profile: %s=%g outside [0,1)" name p)
+  in
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  if max_delay < 0 then invalid_arg "Fault.profile: negative max_delay";
+  List.iter
+    (fun c ->
+      if c.from_round < 0 then invalid_arg "Fault.profile: negative crash round";
+      match c.until_round with
+      | Some u when u <= c.from_round ->
+          invalid_arg "Fault.profile: crash window ends before it starts"
+      | _ -> ())
+    crashes;
+  { drop; duplicate; max_delay; crashes }
+
+type t = { p : profile; rng : Random.State.t; seed : int }
+
+let create ?(seed = 0) p =
+  { p; rng = Random.State.make [| seed lxor 0xfa17; p.max_delay + 1 |]; seed }
+
+let profile_of t = t.p
+
+let plan t ~round:_ ~src:_ ~dst:_ =
+  let p = t.p in
+  if p.drop > 0.0 && Random.State.float t.rng 1.0 < p.drop then []
+  else begin
+    let copies =
+      if p.duplicate > 0.0 && Random.State.float t.rng 1.0 < p.duplicate then 2 else 1
+    in
+    List.init copies (fun _ ->
+        if p.max_delay = 0 then 0 else Random.State.int t.rng (p.max_delay + 1))
+  end
+
+let in_window c ~round =
+  round >= c.from_round
+  && (match c.until_round with None -> true | Some u -> round < u)
+
+let crashed t ~round v = List.exists (fun c -> c.node = v && in_window c ~round) t.p.crashes
+
+let crash_stopped t ~round v =
+  List.exists
+    (fun c -> c.node = v && c.until_round = None && round >= c.from_round)
+    t.p.crashes
+
+let pp fmt t =
+  Format.fprintf fmt "faults(seed=%d drop=%g dup=%g delay<=%d crashes=%d)" t.seed t.p.drop
+    t.p.duplicate t.p.max_delay (List.length t.p.crashes)

@@ -1,0 +1,75 @@
+(** Deterministic fault-injection adversary for the CONGEST engine.
+
+    The paper's model (Section 2.1) assumes perfectly reliable synchronous
+    links. This module relaxes that assumption so experiments can measure
+    how fragile the reproduced algorithms are and what reliability costs
+    in rounds (experiment E-F1, DESIGN.md "Fault model").
+
+    The adversary is an oblivious, seeded random process
+    ({!Random.State}-based, the same seeding idiom as
+    [Repro_graph.Generators]): given the same seed and the same execution
+    it makes the same decisions, so every faulty run is reproducible.
+
+    Composable fault dimensions, all off by default:
+    - [drop]: each message copy is destroyed with this probability;
+    - [duplicate]: each surviving message spawns one extra copy with this
+      probability;
+    - [max_delay]: each copy is held a uniform number of extra rounds in
+      [0..max_delay] (delays of distinct copies are independent, so a
+      duplicated message can be reordered against later traffic);
+    - [crashes]: per-node round windows during which the node neither
+      steps, sends, nor receives (its state is frozen; messages addressed
+      to it are dropped). A window with [until_round = None] is
+      crash-stop; with [Some r] the node restarts at round [r]
+      (crash-restart). *)
+
+type crash = {
+  node : int;
+  from_round : int;  (** first round the node is down. *)
+  until_round : int option;
+      (** [None] = crash-stop (never restarts); [Some r] = the node is up
+          again from round [r] on. *)
+}
+
+type profile = {
+  drop : float;  (** per-copy loss probability, in [0, 1). *)
+  duplicate : float;  (** per-message duplication probability, in [0, 1). *)
+  max_delay : int;  (** max extra rounds a copy may be held; >= 0. *)
+  crashes : crash list;
+}
+
+(** All-zero profile (the adversary does nothing). *)
+val reliable : profile
+
+(** [profile ()] builds a profile from the given dimensions; everything
+    omitted defaults to the {!reliable} value.
+
+    @raise Invalid_argument if a probability is outside [0, 1) or
+    [max_delay] is negative. *)
+val profile :
+  ?drop:float -> ?duplicate:float -> ?max_delay:int -> ?crashes:crash list -> unit -> profile
+
+type t
+
+(** [create ~seed p] instantiates the adversary. Two adversaries with the
+    same seed and profile make identical decisions when consulted in the
+    same order. *)
+val create : ?seed:int -> profile -> t
+
+val profile_of : t -> profile
+
+(** [plan t ~round ~src ~dst] decides the fate of one message sent on link
+    [src -> dst] at [round]: the returned list holds one extra-round delay
+    per copy to deliver ([0] = normal next-round delivery). [[]] means the
+    message is dropped; a two-element list means it was duplicated. *)
+val plan : t -> round:int -> src:int -> dst:int -> int list
+
+(** [crashed t ~round v] — is [v] down at [round]? *)
+val crashed : t -> round:int -> int -> bool
+
+(** [crash_stopped t ~round v] — is [v] down at [round] with no scheduled
+    restart? The engine excludes such nodes from its liveness check so
+    crash-stop schedules cannot livelock an execution. *)
+val crash_stopped : t -> round:int -> int -> bool
+
+val pp : Format.formatter -> t -> unit

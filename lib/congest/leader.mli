@@ -2,5 +2,7 @@
 
 (** [elect skeleton ~metrics] returns the elected leader (the minimum
     vertex id); every simulated node learns it. Rounds charged under
-    ["leader"]. *)
-val elect : Repro_graph.Digraph.t -> metrics:Metrics.t -> int
+    ["leader"]. [faults] injects link/node faults; [reliable] runs over
+    the acknowledged {!Transport}. *)
+val elect :
+  ?faults:Fault.t -> ?reliable:bool -> Repro_graph.Digraph.t -> metrics:Metrics.t -> int

@@ -1,10 +1,21 @@
 type t = {
   mutable rounds : int;
   mutable messages : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable retransmissions : int;
   per_label : (string, int ref) Hashtbl.t;
 }
 
-let create () = { rounds = 0; messages = 0; per_label = Hashtbl.create 16 }
+let create () =
+  {
+    rounds = 0;
+    messages = 0;
+    dropped = 0;
+    duplicated = 0;
+    retransmissions = 0;
+    per_label = Hashtbl.create 16;
+  }
 
 let add t ~label k =
   if k < 0 then invalid_arg "Metrics.add: negative round count";
@@ -14,8 +25,14 @@ let add t ~label k =
   | None -> Hashtbl.add t.per_label label (ref k)
 
 let add_messages t k = t.messages <- t.messages + k
+let add_dropped t k = t.dropped <- t.dropped + k
+let add_duplicated t k = t.duplicated <- t.duplicated + k
+let add_retransmissions t k = t.retransmissions <- t.retransmissions + k
 let rounds t = t.rounds
 let messages t = t.messages
+let dropped t = t.dropped
+let duplicated t = t.duplicated
+let retransmissions t = t.retransmissions
 
 let breakdown t =
   Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.per_label []
@@ -23,9 +40,15 @@ let breakdown t =
 
 let merge ~into src =
   into.messages <- into.messages + src.messages;
+  into.dropped <- into.dropped + src.dropped;
+  into.duplicated <- into.duplicated + src.duplicated;
+  into.retransmissions <- into.retransmissions + src.retransmissions;
   Hashtbl.iter (fun label r -> add into ~label !r) src.per_label
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>rounds=%d messages=%d" t.rounds t.messages;
+  if t.dropped > 0 || t.duplicated > 0 || t.retransmissions > 0 then
+    Format.fprintf fmt " dropped=%d duplicated=%d retransmissions=%d" t.dropped t.duplicated
+      t.retransmissions;
   List.iter (fun (l, r) -> Format.fprintf fmt "@,  %-24s %d" l r) (breakdown t);
   Format.fprintf fmt "@]"

@@ -17,8 +17,23 @@ val add : t -> label:string -> int -> unit
 (** [add_messages t k] records [k] point-to-point messages. *)
 val add_messages : t -> int -> unit
 
+(** [add_dropped t k] records [k] messages destroyed by a fault adversary
+    (lost on a link, or addressed to a crashed node). *)
+val add_dropped : t -> int -> unit
+
+(** [add_duplicated t k] records [k] extra message copies injected by a
+    fault adversary. *)
+val add_duplicated : t -> int -> unit
+
+(** [add_retransmissions t k] records [k] retransmissions performed by a
+    reliable transport layer ({!Transport}). *)
+val add_retransmissions : t -> int -> unit
+
 val rounds : t -> int
 val messages : t -> int
+val dropped : t -> int
+val duplicated : t -> int
+val retransmissions : t -> int
 
 (** [breakdown t] lists [(label, rounds)] aggregated per label,
     sorted by decreasing rounds. *)

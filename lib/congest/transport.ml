@@ -1,0 +1,133 @@
+module Digraph = Repro_graph.Digraph
+
+module Make (M : Engine.MSG) = struct
+  type inbox = (int * M.t) list
+  type outbox = (int * M.t) list
+
+  (* One packet per link per round, carrying at most one data payload
+     (with its sequence number) and at most one piggybacked ack. *)
+  module Packet = struct
+    type t = { data : (int * M.t) option; ack : int option }
+
+    let words p = 1 + (match p.data with Some (_, m) -> M.words m | None -> 0)
+  end
+
+  module E = Engine.Make (Packet)
+
+  type link = {
+    mutable next_seq : int;
+    sendq : M.t Queue.t;  (* user messages not yet launched *)
+    mutable outstanding : (int * M.t) option;  (* launched, unacked *)
+    mutable retry_round : int;
+    mutable backoff : int;  (* retransmission count for this message *)
+    ackq : int Queue.t;  (* acks owed to the peer *)
+    received : (int, unit) Hashtbl.t;  (* seqs already delivered to step *)
+  }
+
+  type 'st node = { user : 'st; links : (int, link) Hashtbl.t }
+
+  let run skeleton ~init ~step ~active ?faults ?(rto = 4)
+      ?max_rounds ?(max_words = Engine.default_max_words) ~metrics ~label () =
+    if rto <= 2 then invalid_arg "Transport.run: rto must exceed the 2-round ack latency";
+    let wrap_init v =
+      let links = Hashtbl.create 8 in
+      Array.iter
+        (fun u ->
+          Hashtbl.replace links u
+            {
+              next_seq = 0;
+              sendq = Queue.create ();
+              outstanding = None;
+              retry_round = 0;
+              backoff = 0;
+              ackq = Queue.create ();
+              received = Hashtbl.create 16;
+            })
+        (Digraph.neighbors skeleton v);
+      { user = init v; links }
+    in
+    let wrap_step ~round ~node:v st inbox =
+      (* 1. absorb packets: clear acked messages, ack and dedup data *)
+      let fresh = ref [] in
+      List.iter
+        (fun (u, p) ->
+          let l = Hashtbl.find st.links u in
+          (match p.Packet.ack with
+          | Some s -> (
+              match l.outstanding with
+              | Some (s', _) when s' = s ->
+                  l.outstanding <- None;
+                  l.backoff <- 0
+              | _ -> ())
+          | None -> ());
+          match p.Packet.data with
+          | Some (s, payload) ->
+              Queue.add s l.ackq;
+              if not (Hashtbl.mem l.received s) then begin
+                Hashtbl.add l.received s ();
+                fresh := (u, payload) :: !fresh
+              end
+          | None -> ())
+        inbox;
+      (* 2. run the user's step on the deduplicated, sender-sorted inbox *)
+      let user_inbox = List.sort (fun (a, _) (b, _) -> compare a b) !fresh in
+      let user, user_out = step ~round ~node:v st.user user_inbox in
+      let queued_to = Hashtbl.create 4 in
+      List.iter
+        (fun (u, m) ->
+          (match Hashtbl.find_opt st.links u with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Transport.run(%s): node %d sent to non-neighbor %d" label v u)
+          | Some l -> Queue.add m l.sendq);
+          if Hashtbl.mem queued_to u then
+            invalid_arg
+              (Printf.sprintf "Transport.run(%s): node %d sent two messages to %d in one round"
+                 label v u);
+          Hashtbl.add queued_to u ())
+        user_out;
+      (* 3. per link: retransmit if the timeout expired, else launch the
+         next queued message; piggyback one owed ack *)
+      let out = ref [] in
+      Hashtbl.iter
+        (fun u l ->
+          let data =
+            match l.outstanding with
+            | Some (s, m) when round >= l.retry_round ->
+                Metrics.add_retransmissions metrics 1;
+                l.backoff <- min (l.backoff + 1) 6;
+                l.retry_round <- round + (rto lsl l.backoff);
+                Some (s, m)
+            | Some _ -> None
+            | None ->
+                if Queue.is_empty l.sendq then None
+                else begin
+                  let m = Queue.pop l.sendq in
+                  let s = l.next_seq in
+                  l.next_seq <- s + 1;
+                  l.outstanding <- Some (s, m);
+                  l.backoff <- 0;
+                  l.retry_round <- round + rto;
+                  Some (s, m)
+                end
+          in
+          let ack = if Queue.is_empty l.ackq then None else Some (Queue.pop l.ackq) in
+          if data <> None || ack <> None then out := (u, { Packet.data; ack }) :: !out)
+        st.links;
+      ({ st with user }, !out)
+    in
+    let wrap_active st =
+      active st.user
+      || Hashtbl.fold
+           (fun _ l busy ->
+             busy || l.outstanding <> None
+             || (not (Queue.is_empty l.sendq))
+             || not (Queue.is_empty l.ackq))
+           st.links false
+    in
+    let states =
+      E.run skeleton ?faults ~init:wrap_init ~step:wrap_step ~active:wrap_active ?max_rounds
+        ~max_words:(max_words + 1) ~metrics ~label ()
+    in
+    Array.map (fun st -> st.user) states
+end

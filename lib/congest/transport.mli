@@ -1,0 +1,49 @@
+(** Reliable transport over faulty CONGEST links.
+
+    Layers per-link acknowledgements, round-based retransmission timeouts
+    with exponential backoff, and sequence-number deduplication on top of
+    the (possibly fault-injected) {!Engine}, exposing the same
+    step-function interface — existing algorithms run unchanged over it.
+
+    Guarantees, for any {!Fault.t} profile with drop probability < 1 and
+    no crash-stop nodes: every message handed to the transport is
+    delivered to its destination's [step] function exactly once, and
+    per-link FIFO order is preserved (each link is stop-and-wait: message
+    [k+1] is not launched until [k] is acknowledged). Round numbers seen
+    by [step] are engine rounds, not per-node logical times.
+
+    Cost: each payload word rides in a packet with a one-word header
+    (sequence number or ack id), so the inner engine runs with
+    [max_words + 1]; a fault-free message costs ~2 rounds of link latency
+    (data, then ack unblocks the next send). Retransmissions are charged
+    to {!Metrics.add_retransmissions}. Crash-stop nodes are out of scope:
+    a retransmitter has no failure detector, so a send to a dead node
+    retries until [max_rounds] (then {!Engine.Round_limit_exceeded}). *)
+
+module Make (M : Engine.MSG) : sig
+  type inbox = (int * M.t) list
+  type outbox = (int * M.t) list
+
+  (** [run skeleton ~init ~step ~active ~metrics ~label ()] — same
+      contract as {!Engine.Make.run} (inboxes sorted by sender id,
+      bandwidth checks on user messages, liveness via [active] once all
+      transport queues drain), plus:
+
+      - [faults] — adversary applied to the underlying links;
+      - [rto] — initial retransmission timeout in rounds (doubles on each
+        retry, capped at [64 * rto]). Must exceed the 2-round fault-free
+        ack latency; default 4. *)
+  val run :
+    Repro_graph.Digraph.t ->
+    init:(int -> 'st) ->
+    step:(round:int -> node:int -> 'st -> inbox -> 'st * outbox) ->
+    active:('st -> bool) ->
+    ?faults:Fault.t ->
+    ?rto:int ->
+    ?max_rounds:int ->
+    ?max_words:int ->
+    metrics:Metrics.t ->
+    label:string ->
+    unit ->
+    'st array
+end

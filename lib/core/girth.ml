@@ -14,18 +14,18 @@ let inf = Digraph.inf
 
 (* convergecast of the global minimum over a BFS tree (message level);
    values can be inf, which we clamp to a sentinel word *)
-let aggregate_min skeleton values ~metrics =
+let aggregate_min ?faults ?reliable skeleton values ~metrics =
   let sentinel = inf in
-  let tree = Bfs_tree.build skeleton ~root:0 ~metrics in
+  let tree = Bfs_tree.build ?faults ?reliable skeleton ~root:0 ~metrics in
   let clamped = Array.map (fun v -> min v sentinel) values in
-  Broadcast.convergecast tree ~op:min ~values:clamped ~metrics
+  Broadcast.convergecast ?faults ?reliable tree ~op:min ~values:clamped ~metrics
 
 let default_dec ?dec ?(seed = 0) g ~metrics =
   match dec with
   | Some d -> d
   | None -> (Build.decompose ~seed (Digraph.skeleton g) ~metrics).Build.decomposition
 
-let directed ?dec ?(seed = 0) g ~metrics =
+let directed ?dec ?(seed = 0) ?faults ?reliable g ~metrics =
   if not (Digraph.directed g) then invalid_arg "Girth.directed: graph is undirected";
   let dec = default_dec ?dec ~seed g ~metrics in
   let labels = Dl.build g dec ~metrics in
@@ -44,7 +44,7 @@ let directed ?dec ?(seed = 0) g ~metrics =
       in
       if c < candidate.(u) then candidate.(u) <- c)
     (Digraph.edges g);
-  let g_min = aggregate_min (Digraph.skeleton g) candidate ~metrics in
+  let g_min = aggregate_min ?faults ?reliable (Digraph.skeleton g) candidate ~metrics in
   { girth = g_min; trials = 1 }
 
 (* minimum over closed exact-count-1 walks under labeling [labeled]:
@@ -72,7 +72,7 @@ let min_exact_count1 g ~labeled =
     (Digraph.edges g);
   !best
 
-let undirected ?(mode = `Charged) ?repeats ?dec ?(seed = 0) g ~metrics =
+let undirected ?(mode = `Charged) ?repeats ?dec ?(seed = 0) ?faults ?reliable g ~metrics =
   if Digraph.directed g then invalid_arg "Girth.undirected: graph is directed";
   let n = Digraph.n g and m = Digraph.m g in
   let repeats = match repeats with Some r -> r | None -> Primitives.ceil_log2 n + 4 in
@@ -130,7 +130,7 @@ let undirected ?(mode = `Charged) ?repeats ?dec ?(seed = 0) g ~metrics =
                   let per_node =
                     Array.init n (fun u -> Cdl.self_distance cdl ~q:q1 u)
                   in
-                  aggregate_min skeleton per_node ~metrics
+                  aggregate_min ?faults ?reliable skeleton per_node ~metrics
               | `Charged ->
                   let cost = measure_cdl_cost labels_fn in
                   Metrics.add metrics ~label:"girth/trials" cost;
@@ -142,9 +142,9 @@ let undirected ?(mode = `Charged) ?repeats ?dec ?(seed = 0) g ~metrics =
         scales);
   { girth = !best; trials = !trials }
 
-let run ?(mode = `Charged) ?(seed = 0) g ~metrics =
-  if Digraph.directed g then directed ~seed g ~metrics
-  else undirected ~mode ~seed g ~metrics
+let run ?(mode = `Charged) ?(seed = 0) ?faults ?reliable g ~metrics =
+  if Digraph.directed g then directed ~seed ?faults ?reliable g ~metrics
+  else undirected ~mode ~seed ?faults ?reliable g ~metrics
 
 let witness ?(seed = 0) g ~metrics =
   let r =

@@ -27,10 +27,14 @@ type result = {
 }
 
 (** [directed ?dec g ~metrics] — exact girth of a directed weighted
-    graph. *)
+    graph. [faults]/[reliable] apply to the message-level aggregation
+    phases (BFS tree + convergecast) — see {!Repro_congest.Fault} and
+    {!Repro_congest.Transport}. *)
 val directed :
   ?dec:Repro_treedec.Decomposition.t ->
   ?seed:int ->
+  ?faults:Repro_congest.Fault.t ->
+  ?reliable:bool ->
   Repro_graph.Digraph.t ->
   metrics:Repro_congest.Metrics.t ->
   result
@@ -45,6 +49,8 @@ val undirected :
   ?repeats:int ->
   ?dec:Repro_treedec.Decomposition.t ->
   ?seed:int ->
+  ?faults:Repro_congest.Fault.t ->
+  ?reliable:bool ->
   Repro_graph.Digraph.t ->
   metrics:Repro_congest.Metrics.t ->
   result
@@ -53,6 +59,8 @@ val undirected :
 val run :
   ?mode:mode ->
   ?seed:int ->
+  ?faults:Repro_congest.Fault.t ->
+  ?reliable:bool ->
   Repro_graph.Digraph.t ->
   metrics:Repro_congest.Metrics.t ->
   result

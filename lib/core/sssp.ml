@@ -9,9 +9,9 @@ type result = {
   broadcast_rounds : int;
 }
 
-let run g labels ~source ~metrics =
+let run ?faults ?reliable g labels ~source ~metrics =
   let skeleton = if Digraph.directed g then Digraph.skeleton g else g in
-  let tree = Bfs_tree.build skeleton ~root:source ~metrics in
+  let tree = Bfs_tree.build ?faults ?reliable skeleton ~root:source ~metrics in
   let la_s = labels.(source) in
   (* stream the source label: anchor id, d_to, d_from per entry *)
   let items =
@@ -23,7 +23,7 @@ let run g labels ~source ~metrics =
       (Labeling.anchors la_s)
   in
   let before = Metrics.rounds metrics in
-  let received = Broadcast.stream_down tree ~items ~metrics in
+  let received = Broadcast.stream_down ?faults ?reliable tree ~items ~metrics in
   let broadcast_rounds = Metrics.rounds metrics - before in
   (* each node reconstructs la(source) from the received stream and
      decodes locally *)

@@ -12,8 +12,15 @@ type result = {
 
 (** [run g labels ~source ~metrics] decodes all distances after
     physically streaming the source label ([3 * #anchors] one-word items)
-    down a BFS tree. *)
+    down a BFS tree.
+
+    The message-level phases (BFS tree + label streaming) optionally run
+    under a fault adversary ([faults]) and over the reliable transport
+    ([reliable]) — see {!Repro_congest.Fault} and
+    {!Repro_congest.Transport}. *)
 val run :
+  ?faults:Repro_congest.Fault.t ->
+  ?reliable:bool ->
   Repro_graph.Digraph.t ->
   Labeling.t array ->
   source:int ->

@@ -9,6 +9,8 @@ module Broadcast = Repro_congest.Broadcast
 module Leader = Repro_congest.Leader
 module Bellman_ford = Repro_congest.Bellman_ford
 module Apsp = Repro_congest.Apsp
+module Fault = Repro_congest.Fault
+module Transport = Repro_congest.Transport
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -35,7 +37,42 @@ let test_metrics_merge () =
   Metrics.add_messages b 5;
   Metrics.merge ~into:a b;
   check_int "merged rounds" 6 (Metrics.rounds a);
-  check_int "merged messages" 5 (Metrics.messages a)
+  check_int "merged messages" 5 (Metrics.messages a);
+  Alcotest.(check (list (pair string int))) "merged breakdown" [ ("x", 5); ("y", 1) ]
+    (Metrics.breakdown a)
+
+let test_metrics_breakdown_ordering () =
+  let m = Metrics.create () in
+  Metrics.add m ~label:"small" 1;
+  Metrics.add m ~label:"big" 9;
+  Metrics.add m ~label:"mid" 4;
+  Alcotest.(check (list (pair string int))) "decreasing rounds"
+    [ ("big", 9); ("mid", 4); ("small", 1) ]
+    (Metrics.breakdown m)
+
+let test_metrics_fault_counters () =
+  let m = Metrics.create () in
+  check_int "fresh dropped" 0 (Metrics.dropped m);
+  check_int "fresh duplicated" 0 (Metrics.duplicated m);
+  check_int "fresh retransmissions" 0 (Metrics.retransmissions m);
+  Metrics.add_dropped m 3;
+  Metrics.add_duplicated m 2;
+  Metrics.add_retransmissions m 7;
+  Metrics.add_retransmissions m 1;
+  check_int "dropped" 3 (Metrics.dropped m);
+  check_int "duplicated" 2 (Metrics.duplicated m);
+  check_int "retransmissions" 8 (Metrics.retransmissions m)
+
+let test_metrics_merge_fault_counters () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add_dropped a 1;
+  Metrics.add_dropped b 2;
+  Metrics.add_duplicated b 4;
+  Metrics.add_retransmissions b 6;
+  Metrics.merge ~into:a b;
+  check_int "merged dropped" 3 (Metrics.dropped a);
+  check_int "merged duplicated" 4 (Metrics.duplicated a);
+  check_int "merged retransmissions" 6 (Metrics.retransmissions a)
 
 (* ------------------------------------------------------------------ *)
 (* Engine *)
@@ -92,6 +129,210 @@ let test_engine_counts_rounds () =
   check_int "receiver got it" 70 states.(1);
   check_bool "bounded rounds" true (Metrics.rounds m <= 3);
   check_int "one message" 1 (Metrics.messages m)
+
+let test_engine_round_limit_payload () =
+  let sk = Generators.path 3 in
+  let m = Metrics.create () in
+  match
+    E.run sk
+      ~init:(fun _ -> ())
+      ~step:(fun ~round:_ ~node:_ () _ -> ((), []))
+      ~active:(fun () -> true)
+      ~max_rounds:7 ~metrics:m ~label:"spin" ()
+  with
+  | _ -> Alcotest.fail "expected Round_limit_exceeded"
+  | exception Engine.Round_limit_exceeded { label; rounds; active_nodes } ->
+      Alcotest.(check string) "label" "spin" label;
+      check_int "rounds" 7 rounds;
+      check_int "active nodes" 3 active_nodes
+
+let test_engine_inbox_sorted_by_sender () =
+  (* leaves of a star all message the hub in the same round: the hub must
+     see them in ascending sender order regardless of delivery accidents *)
+  let star = Digraph.create ~directed:false 6 (List.init 5 (fun i -> (0, i + 1, 1))) in
+  let m = Metrics.create () in
+  let seen = ref [] in
+  ignore
+    (E.run star
+       ~init:(fun v -> v <> 0)
+       ~step:(fun ~round:_ ~node st inbox ->
+         if node = 0 && inbox <> [] then seen := inbox;
+         if st && node <> 0 then (false, [ (0, node) ]) else (false, []))
+       ~active:Fun.id ~metrics:m ~label:"t" ());
+  Alcotest.(check (list (pair int int)))
+    "ascending sender order"
+    [ (1, 1); (2, 2); (3, 3); (4, 4); (5, 5) ]
+    !seen
+
+(* ------------------------------------------------------------------ *)
+(* Fault adversary *)
+
+let drops_profile = Fault.profile ~drop:0.3 ~duplicate:0.2 ~max_delay:2 ()
+
+let test_fault_profile_validation () =
+  check_bool "negative delay rejected" true
+    (try
+       ignore (Fault.profile ~max_delay:(-1) ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "drop=1 rejected" true
+    (try
+       ignore (Fault.profile ~drop:1.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fault_run_is_deterministic () =
+  let g = Generators.grid 5 5 in
+  let run () =
+    let m = Metrics.create () in
+    let faults = Fault.create ~seed:42 drops_profile in
+    let t = Bfs_tree.build ~faults g ~root:0 ~metrics:m in
+    (t.Bfs_tree.dist, Metrics.dropped m, Metrics.duplicated m)
+  in
+  let d1, drops1, dups1 = run () in
+  let d2, drops2, dups2 = run () in
+  Alcotest.(check (array int)) "same distances" d1 d2;
+  check_int "same drops" drops1 drops2;
+  check_int "same duplicates" dups1 dups2;
+  check_bool "drops fired" true (drops1 > 0);
+  check_bool "duplicates fired" true (dups1 > 0)
+
+let test_fault_raw_bfs_degrades () =
+  (* without the transport, dropped offers can only lose relaxations, so
+     every raw-faulty distance is >= the centralized one *)
+  let g = Generators.grid 6 6 in
+  let expected = Traversal.bfs_undirected g 0 in
+  let m = Metrics.create () in
+  let faults = Fault.create ~seed:7 (Fault.profile ~drop:0.5 ()) in
+  let t = Bfs_tree.build ~faults g ~root:0 ~metrics:m in
+  Array.iteri
+    (fun v d -> check_bool (Printf.sprintf "node %d not too close" v) true (d >= expected.(v)))
+    t.Bfs_tree.dist;
+  check_bool "drops fired" true (Metrics.dropped m > 0)
+
+let test_fault_crash_stop_cannot_livelock () =
+  let sk = Generators.path 2 in
+  let m = Metrics.create () in
+  let faults =
+    Fault.create ~seed:1
+      (Fault.profile ~crashes:[ { Fault.node = 1; from_round = 5; until_round = None } ] ())
+  in
+  ignore
+    (E.run sk
+       ~init:(fun v -> v = 1)
+       ~step:(fun ~round:_ ~node:_ st _ -> (st, []))
+       ~active:Fun.id ~faults ~max_rounds:100 ~metrics:m ~label:"t" ());
+  check_int "terminates at the crash, not max_rounds" 5 (Metrics.rounds m)
+
+let test_fault_crash_partitions_raw_bfs () =
+  (* path 0-1-2-3-4-5 with node 3 down during the whole flood: the offer
+     from 2 dies exactly once, so everything past 3 stays unreachable *)
+  let g = Generators.path 6 in
+  let m = Metrics.create () in
+  let faults =
+    Fault.create ~seed:3
+      (Fault.profile ~crashes:[ { Fault.node = 3; from_round = 0; until_round = Some 50 } ] ())
+  in
+  let t = Bfs_tree.build ~faults g ~root:0 ~metrics:m in
+  check_int "before the crash" 2 t.Bfs_tree.dist.(2);
+  check_int "behind the crash" Digraph.inf t.Bfs_tree.dist.(4);
+  check_bool "delivery to the dead node was dropped" true (Metrics.dropped m > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable transport *)
+
+let test_transport_no_faults_exact () =
+  let g = Generators.k_tree ~seed:9 40 3 in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build ~reliable:true g ~root:0 ~metrics:m in
+  Alcotest.(check (array int)) "distances" (Traversal.bfs_undirected g 0) t.Bfs_tree.dist;
+  check_int "no drops" 0 (Metrics.dropped m);
+  check_int "no retransmissions" 0 (Metrics.retransmissions m)
+
+let test_transport_restores_bfs_under_drops () =
+  let g = Generators.grid 6 6 in
+  let m = Metrics.create () in
+  let faults = Fault.create ~seed:5 drops_profile in
+  let t = Bfs_tree.build ~faults ~reliable:true g ~root:0 ~metrics:m in
+  Alcotest.(check (array int)) "exact despite faults" (Traversal.bfs_undirected g 0)
+    t.Bfs_tree.dist;
+  check_bool "faults actually fired" true (Metrics.dropped m > 0);
+  check_bool "transport retransmitted" true (Metrics.retransmissions m > 0)
+
+let test_transport_restores_bellman_ford () =
+  let g = Generators.bidirect ~seed:3 ~max_weight:9 (Generators.k_tree ~seed:2 30 3) in
+  let m = Metrics.create () in
+  let faults = Fault.create ~seed:11 drops_profile in
+  let d = Bellman_ford.run ~faults ~reliable:true g ~source:0 ~metrics:m in
+  Alcotest.(check (array int)) "matches dijkstra" (Shortest_path.dijkstra g 0) d;
+  check_bool "retransmissions fired" true (Metrics.retransmissions m > 0)
+
+let test_transport_restores_leader () =
+  let g = Generators.k_tree ~seed:11 30 2 in
+  let m = Metrics.create () in
+  let faults = Fault.create ~seed:13 drops_profile in
+  check_int "leader" 0 (Leader.elect ~faults ~reliable:true g ~metrics:m)
+
+let test_transport_preserves_stream_order () =
+  (* per-link FIFO: a pipelined stream arrives in order even when packets
+     are dropped, duplicated, and delayed underneath *)
+  let g = Generators.path 6 in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build g ~root:0 ~metrics:m in
+  let items = List.init 12 Fun.id in
+  let faults = Fault.create ~seed:17 drops_profile in
+  let got = Broadcast.stream_down ~faults ~reliable:true t ~items ~metrics:m in
+  Array.iter (fun l -> Alcotest.(check (list int)) "items in order" items l) got
+
+let test_transport_convergecast_under_faults () =
+  let g = Generators.grid 4 4 in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build g ~root:0 ~metrics:m in
+  let values = Array.init 16 Fun.id in
+  let faults = Fault.create ~seed:19 drops_profile in
+  check_int "sum survives faults" 120
+    (Broadcast.convergecast ~faults ~reliable:true t ~op:( + ) ~values ~metrics:m)
+
+let test_transport_survives_crash_restart () =
+  (* node 3 is down for the first 12 rounds; the transport retransmits
+     across the outage, so BFS is still exact after the restart *)
+  let g = Generators.path 6 in
+  let m = Metrics.create () in
+  let faults =
+    Fault.create ~seed:23
+      (Fault.profile ~crashes:[ { Fault.node = 3; from_round = 2; until_round = Some 12 } ] ())
+  in
+  let t = Bfs_tree.build ~faults ~reliable:true g ~root:0 ~metrics:m in
+  Alcotest.(check (array int)) "exact across the outage" (Traversal.bfs_undirected g 0)
+    t.Bfs_tree.dist;
+  check_bool "outage forced retransmissions" true (Metrics.retransmissions m > 0)
+
+let prop_transport_oracle_exact =
+  QCheck.Test.make
+    ~name:"BFS/SSSP/leader over transport = centralized oracles for any drop <= 0.5" ~count:20
+    QCheck.(triple (int_range 0 1000) (int_range 6 20) (int_range 5 50))
+    (fun (seed, n, drop_pct) ->
+      let drop = float_of_int drop_pct /. 100.0 in
+      let g = Generators.gnp_connected ~seed n 0.2 in
+      let profile = Fault.profile ~drop ~duplicate:0.2 ~max_delay:2 () in
+      let root = seed mod n in
+      let m = Metrics.create () in
+      let t =
+        Bfs_tree.build ~faults:(Fault.create ~seed:(seed + 1) profile) ~reliable:true g ~root
+          ~metrics:m
+      in
+      let bfs_ok = t.Bfs_tree.dist = Traversal.bfs_undirected g root in
+      let gw = Generators.random_weights ~seed ~max_weight:9 g in
+      let bf =
+        Bellman_ford.run ~faults:(Fault.create ~seed:(seed + 2) profile) ~reliable:true gw
+          ~source:root ~metrics:m
+      in
+      let bf_ok = bf = Shortest_path.dijkstra gw root in
+      let leader_ok =
+        Leader.elect ~faults:(Fault.create ~seed:(seed + 3) profile) ~reliable:true g ~metrics:m
+        = 0
+      in
+      bfs_ok && bf_ok && leader_ok)
 
 (* ------------------------------------------------------------------ *)
 (* BFS tree *)
@@ -310,7 +551,13 @@ let test_diameter_two_approx_bounds () =
 
 let () =
   let qsuite =
-    List.map QCheck_alcotest.to_alcotest [ prop_bfs_tree_matches_centralized; prop_bellman_ford; prop_flood_components ]
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_bfs_tree_matches_centralized;
+        prop_bellman_ford;
+        prop_flood_components;
+        prop_transport_oracle_exact;
+      ]
   in
   Alcotest.run "repro_congest"
     [
@@ -318,12 +565,35 @@ let () =
         [
           Alcotest.test_case "accumulates" `Quick test_metrics_accumulates;
           Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "breakdown ordering" `Quick test_metrics_breakdown_ordering;
+          Alcotest.test_case "fault counters" `Quick test_metrics_fault_counters;
+          Alcotest.test_case "merge fault counters" `Quick test_metrics_merge_fault_counters;
         ] );
       ( "engine",
         [
           Alcotest.test_case "bandwidth" `Quick test_engine_enforces_bandwidth;
           Alcotest.test_case "non neighbor" `Quick test_engine_rejects_non_neighbor;
           Alcotest.test_case "round counting" `Quick test_engine_counts_rounds;
+          Alcotest.test_case "round limit payload" `Quick test_engine_round_limit_payload;
+          Alcotest.test_case "inbox sorted by sender" `Quick test_engine_inbox_sorted_by_sender;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "profile validation" `Quick test_fault_profile_validation;
+          Alcotest.test_case "deterministic" `Quick test_fault_run_is_deterministic;
+          Alcotest.test_case "raw bfs degrades" `Quick test_fault_raw_bfs_degrades;
+          Alcotest.test_case "crash-stop liveness" `Quick test_fault_crash_stop_cannot_livelock;
+          Alcotest.test_case "crash partitions" `Quick test_fault_crash_partitions_raw_bfs;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "fault-free exact" `Quick test_transport_no_faults_exact;
+          Alcotest.test_case "bfs under drops" `Quick test_transport_restores_bfs_under_drops;
+          Alcotest.test_case "bellman-ford" `Quick test_transport_restores_bellman_ford;
+          Alcotest.test_case "leader" `Quick test_transport_restores_leader;
+          Alcotest.test_case "stream order" `Quick test_transport_preserves_stream_order;
+          Alcotest.test_case "convergecast" `Quick test_transport_convergecast_under_faults;
+          Alcotest.test_case "crash restart" `Quick test_transport_survives_crash_restart;
         ] );
       ( "bfs tree",
         [

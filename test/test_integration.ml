@@ -62,7 +62,7 @@ let test_engine_max_rounds_guard () =
             ~active:(fun () -> true)
             ~max_rounds:50 ~metrics:m ~label:"t" ());
        false
-     with Failure _ -> true)
+     with Engine.Round_limit_exceeded { label = "t"; rounds = 50; active_nodes = 2 } -> true)
 
 let test_engine_idle_algorithm_costs_nothing () =
   let sk = Generators.path 3 in
