@@ -1,9 +1,12 @@
 module Digraph = Repro_graph.Digraph
 
 let default_max_words = 4
+let audit_enabled = ref false
 
 exception
   Round_limit_exceeded of { label : string; rounds : int; active_nodes : int }
+
+exception Audit_violation of { label : string; round : int; detail : string }
 
 let () =
   Printexc.register_printer (function
@@ -12,6 +15,9 @@ let () =
           (Printf.sprintf
              "Engine.Round_limit_exceeded(%s): %d rounds elapsed, %d nodes still active"
              label rounds active_nodes)
+    | Audit_violation { label; round; detail } ->
+        Some
+          (Printf.sprintf "Engine.Audit_violation(%s): round %d: %s" label round detail)
     | _ -> None)
 
 module type MSG = sig
@@ -24,10 +30,11 @@ module Make (M : MSG) = struct
   type inbox = (int * M.t) list
   type outbox = (int * M.t) list
 
-  let run skeleton ~init ~step ~active ?faults ?(max_rounds = 10_000_000)
+  let run skeleton ~init ~step ~active ?faults ?audit ?(max_rounds = 10_000_000)
       ?(max_words = default_max_words) ~metrics ~label () =
     if Digraph.directed skeleton then
       invalid_arg "Engine.run: communication network must be undirected";
+    let audit = match audit with Some b -> b | None -> !audit_enabled in
     let n = Digraph.n skeleton in
     let neighbor_sets =
       Array.init n (fun v ->
@@ -39,7 +46,8 @@ module Make (M : MSG) = struct
     let inboxes = Array.make n [] in
     let round = ref 0 in
     let in_flight = ref false in
-    (* copies held back by a delay fault: (deliver_round, dst, src, msg) *)
+    (* copies held back by a delay fault:
+       (deliver_round, dst, src, msg, words measured at send) *)
     let delayed = ref [] in
     let crashed v = match faults with None -> false | Some f -> Fault.crashed f ~round:!round v in
     let live_active v =
@@ -64,6 +72,57 @@ module Make (M : MSG) = struct
           done;
           !found)
     in
+    (* ---- audit bookkeeping (only consulted when [audit] is true) ----
+       The auditor keeps its own cumulative tallies, incremented at the
+       model-decision sites, and cross-checks them each round against the
+       amounts charged to [metrics] and against the number of copies still
+       in flight. Drift between the two is an accounting bug. *)
+    let a_sent = ref 0 (* accepted sends *)
+    and a_words = ref 0 (* words across accepted sends *)
+    and a_delivered = ref 0 (* copies placed in an inbox *)
+    and a_dropped = ref 0 (* copies destroyed (link loss or dead receiver) *)
+    and a_duplicated = ref 0 (* extra copies injected by the adversary *) in
+    let base_messages = Metrics.messages metrics
+    and base_words = Metrics.words metrics
+    and base_delivered = Metrics.delivered metrics
+    and base_dropped = Metrics.dropped metrics
+    and base_duplicated = Metrics.duplicated metrics in
+    let violation detail = raise (Audit_violation { label; round = !round; detail }) in
+    let audit_counter name expected actual =
+      if expected <> actual then
+        violation
+          (Printf.sprintf
+             "metrics counter '%s' drifted: engine accounted %d, metrics charged %d \
+              (did a step function charge traffic counters mid-run?)"
+             name expected actual)
+    in
+    let audit_round_end () =
+      (* conservation: every accepted copy is in an inbox, destroyed, or
+         still held by a delay fault *)
+      let in_flight_delayed = List.length !delayed in
+      if !a_sent + !a_duplicated <> !a_delivered + !a_dropped + in_flight_delayed then
+        violation
+          (Printf.sprintf
+             "copy conservation broken: sent=%d + duplicated=%d <> delivered=%d + dropped=%d \
+              + in-flight=%d"
+             !a_sent !a_duplicated !a_delivered !a_dropped in_flight_delayed);
+      audit_counter "messages" !a_sent (Metrics.messages metrics - base_messages);
+      audit_counter "words" !a_words (Metrics.words metrics - base_words);
+      audit_counter "delivered" !a_delivered (Metrics.delivered metrics - base_delivered);
+      audit_counter "dropped" !a_dropped (Metrics.dropped metrics - base_dropped);
+      audit_counter "duplicated" !a_duplicated (Metrics.duplicated metrics - base_duplicated)
+    in
+    let audit_inbox_sorted v inbox =
+      let rec check = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+            if a > b then
+              violation
+                (Printf.sprintf "inbox of node %d not sorted by sender: %d before %d" v a b);
+            check rest
+        | _ -> ()
+      in
+      check inbox
+    in
     while continue () do
       if !round >= max_rounds then
         raise
@@ -71,22 +130,44 @@ module Make (M : MSG) = struct
              { label; rounds = !round; active_nodes = count_active () });
       let next_inboxes = Array.make n [] in
       let sent_this_round = ref 0 in
+      let words_this_round = ref 0 in
+      let delivered_this_round = ref 0 in
       (* deliver a copy into the round-[r] inboxes, dropping it if the
-         receiver is down at delivery time *)
-      let deliver ~deliver_round dst src msg =
+         receiver is down at delivery time. [words] is the size measured
+         when the copy was accepted; in audit mode the copy is re-measured
+         on delivery so a sender mutating a message after handing it to the
+         network is caught. *)
+      let deliver ~deliver_round ~words dst src msg =
         let receiver_down =
           match faults with
           | None -> false
           | Some f -> Fault.crashed f ~round:deliver_round dst
         in
-        if receiver_down then Metrics.add_dropped metrics 1
-        else next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst)
+        if audit then begin
+          let now = M.words msg in
+          if now <> words then
+            violation
+              (Printf.sprintf
+                 "message %d -> %d measured %d words at send but %d words at delivery \
+                  (mutated in flight?)"
+                 src dst words now)
+        end;
+        if receiver_down then begin
+          Metrics.add_dropped metrics 1;
+          if audit then incr a_dropped
+        end
+        else begin
+          next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst);
+          incr delivered_this_round;
+          if audit then incr a_delivered
+        end
       in
       for v = 0 to n - 1 do
         if not (crashed v) then begin
           (* contract: inboxes are presented sorted by sender id, so
              algorithms cannot depend on delivery-schedule accidents *)
-          let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(v) in
+          let inbox = List.sort (fun (a, _) (b, _) -> Int.compare a b) inboxes.(v) in
+          if audit then audit_inbox_sorted v inbox;
           let st, outbox = step ~round:!round ~node:v states.(v) inbox in
           states.(v) <- st;
           let sent_to = Hashtbl.create 4 in
@@ -94,43 +175,67 @@ module Make (M : MSG) = struct
             (fun (u, msg) ->
               if not (Hashtbl.mem neighbor_sets.(v) u) then
                 invalid_arg
-                  (Printf.sprintf "Engine.run(%s): node %d sent to non-neighbor %d" label v u);
+                  (Printf.sprintf "Engine.run(%s): round %d: node %d sent to non-neighbor %d"
+                     label !round v u);
               if Hashtbl.mem sent_to u then
                 invalid_arg
                   (Printf.sprintf
-                     "Engine.run(%s): node %d sent two messages to %d in one round" label v u);
+                     "Engine.run(%s): round %d: node %d sent two messages to %d in one round"
+                     label !round v u);
               Hashtbl.add sent_to u ();
               let w = M.words msg in
+              if audit then begin
+                let w' = M.words msg in
+                if w' <> w then
+                  violation
+                    (Printf.sprintf
+                       "M.words unstable on message %d -> %d: measured %d then %d" v u w w')
+              end;
               if w < 1 || w > max_words then
                 invalid_arg
-                  (Printf.sprintf "Engine.run(%s): message of %d words (cap %d)" label w
-                     max_words);
+                  (Printf.sprintf
+                     "Engine.run(%s): round %d: node %d -> %d: message of %d words (cap %d)"
+                     label !round v u w max_words);
               incr sent_this_round;
+              words_this_round := !words_this_round + w;
+              if audit then begin
+                incr a_sent;
+                a_words := !a_words + w
+              end;
               match faults with
-              | None -> deliver ~deliver_round:(!round + 1) u v msg
+              | None -> deliver ~deliver_round:(!round + 1) ~words:w u v msg
               | Some f -> (
                   match Fault.plan f ~round:!round ~src:v ~dst:u with
-                  | [] -> Metrics.add_dropped metrics 1
+                  | [] ->
+                      Metrics.add_dropped metrics 1;
+                      if audit then incr a_dropped
                   | delays ->
-                      if List.length delays > 1 then
+                      if List.length delays > 1 then begin
                         Metrics.add_duplicated metrics (List.length delays - 1);
+                        if audit then a_duplicated := !a_duplicated + List.length delays - 1
+                      end;
                       List.iter
                         (fun extra ->
-                          if extra = 0 then deliver ~deliver_round:(!round + 1) u v msg
-                          else delayed := (!round + 1 + extra, u, v, msg) :: !delayed)
+                          if extra = 0 then deliver ~deliver_round:(!round + 1) ~words:w u v msg
+                          else delayed := (!round + 1 + extra, u, v, msg, w) :: !delayed)
                         delays))
             outbox
         end
       done;
       (* copies whose delay matured this round join the next inboxes *)
       let matured, still_held =
-        List.partition (fun (dr, _, _, _) -> dr = !round + 1) !delayed
+        List.partition (fun (dr, _, _, _, _) -> dr = !round + 1) !delayed
       in
       delayed := still_held;
-      List.iter (fun (dr, dst, src, msg) -> deliver ~deliver_round:dr dst src msg) matured;
+      List.iter
+        (fun (dr, dst, src, msg, w) -> deliver ~deliver_round:dr ~words:w dst src msg)
+        matured;
       Array.blit next_inboxes 0 inboxes 0 n;
       in_flight := Array.exists (fun ib -> ib <> []) inboxes;
       Metrics.add_messages metrics !sent_this_round;
+      Metrics.add_words metrics !words_this_round;
+      Metrics.add_delivered metrics !delivered_this_round;
+      if audit then audit_round_end ();
       incr round;
       Metrics.add metrics ~label 1
     done;

@@ -7,13 +7,17 @@
     all messages sent to it in the same round, then computes locally.
 
     Algorithms are given as a [step] function. The engine enforces the
-    bandwidth constraint and counts rounds and messages into a
+    bandwidth constraint and counts rounds, messages, and words into a
     {!Metrics.t}.
 
     Links are reliable by default. An optional {!Fault.t} adversary can
     drop, duplicate, and delay messages and take nodes down according to
     a seeded, reproducible schedule (DESIGN.md "Fault model"); layer
-    {!Transport} on top to get reliable delivery back over such links. *)
+    {!Transport} on top to get reliable delivery back over such links.
+
+    An optional audit mode (DESIGN.md "Model compliance & static
+    analysis") cross-checks the engine's own accounting every round and
+    raises {!Audit_violation} on drift. *)
 
 (** Raised when [run] exceeds its round budget: carries the metrics
     label of the execution, the number of rounds elapsed, and how many
@@ -21,11 +25,33 @@
 exception
   Round_limit_exceeded of { label : string; rounds : int; active_nodes : int }
 
+(** Raised by audit mode when a per-round conservation invariant fails:
+    [detail] names the counter (or message) involved, with the offending
+    node ids and the mismatching amounts. Invariants checked each round:
+
+    - copy conservation: accepted sends + adversary-injected duplicates
+      = copies delivered + copies destroyed + copies still in flight;
+    - metrics conservation: the [messages], [words], [delivered],
+      [dropped] and [duplicated] counters of the run's {!Metrics.t}
+      advanced exactly by what the engine accounted (a [step] function
+      charging traffic counters mid-run is reported as drift);
+    - inboxes are genuinely sorted by ascending sender id;
+    - [M.words] is stable: the same message measures the same size when
+      measured twice at send time and again at delivery time (a message
+      mutated while "in flight" breaks the bandwidth model silently). *)
+exception Audit_violation of { label : string; round : int; detail : string }
+
+(** When true, every [run] without an explicit [?audit] argument audits.
+    The test suites set this so accounting drift fails tests; it defaults
+    to [false] for production runs. *)
+val audit_enabled : bool ref
+
 module type MSG = sig
   type t
 
   (** Size of a message in machine words; must be positive and at most the
-      engine's [max_words]. *)
+      engine's [max_words]. Must be stable: audit mode re-measures messages
+      and raises on disagreement. *)
   val words : t -> int
 end
 
@@ -57,17 +83,24 @@ module Make (M : MSG) : sig
         and messages addressed to it at delivery time are dropped.
         Crash-stop nodes are excluded from the liveness check so they
         cannot livelock the run.
-      - Rounds consumed are charged to [metrics] under [label].
+      - [audit], when true (default: {!audit_enabled}), cross-checks the
+        conservation invariants documented on {!Audit_violation} at the
+        end of every round.
+      - Rounds consumed are charged to [metrics] under [label]; accepted
+        sends are charged as messages and words, accepted deliveries as
+        delivered.
 
-      @raise Invalid_argument on bandwidth violation (two messages to the
-      same neighbor in one round, oversized message, or send to a
-      non-neighbor). *)
+      @raise Invalid_argument on bandwidth violation. The message names
+      the run label, round, sending node, receiver, and (for size
+      violations) the measured words and the cap.
+      @raise Audit_violation in audit mode on accounting drift. *)
   val run :
     Repro_graph.Digraph.t ->
     init:(int -> 'st) ->
     step:(round:int -> node:int -> 'st -> inbox -> 'st * outbox) ->
     active:('st -> bool) ->
     ?faults:Fault.t ->
+    ?audit:bool ->
     ?max_rounds:int ->
     ?max_words:int ->
     metrics:Metrics.t ->

@@ -1,6 +1,8 @@
 type t = {
   mutable rounds : int;
   mutable messages : int;
+  mutable words : int;
+  mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
   mutable retransmissions : int;
@@ -11,6 +13,8 @@ let create () =
   {
     rounds = 0;
     messages = 0;
+    words = 0;
+    delivered = 0;
     dropped = 0;
     duplicated = 0;
     retransmissions = 0;
@@ -25,30 +29,41 @@ let add t ~label k =
   | None -> Hashtbl.add t.per_label label (ref k)
 
 let add_messages t k = t.messages <- t.messages + k
+let add_words t k = t.words <- t.words + k
+let add_delivered t k = t.delivered <- t.delivered + k
 let add_dropped t k = t.dropped <- t.dropped + k
 let add_duplicated t k = t.duplicated <- t.duplicated + k
 let add_retransmissions t k = t.retransmissions <- t.retransmissions + k
 let rounds t = t.rounds
 let messages t = t.messages
+let words t = t.words
+let delivered t = t.delivered
 let dropped t = t.dropped
 let duplicated t = t.duplicated
 let retransmissions t = t.retransmissions
 
 let breakdown t =
+  (* the fold order is irrelevant: the list is sorted before returning
+     [lint: hashtbl-order] *)
   Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.per_label []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
 
 let merge ~into src =
   into.messages <- into.messages + src.messages;
+  into.words <- into.words + src.words;
+  into.delivered <- into.delivered + src.delivered;
   into.dropped <- into.dropped + src.dropped;
   into.duplicated <- into.duplicated + src.duplicated;
   into.retransmissions <- into.retransmissions + src.retransmissions;
+  (* per-label addition is commutative, iteration order does not matter
+     [lint: hashtbl-order] *)
   Hashtbl.iter (fun label r -> add into ~label !r) src.per_label
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>rounds=%d messages=%d" t.rounds t.messages;
+  if t.words > 0 then Format.fprintf fmt " words=%d" t.words;
   if t.dropped > 0 || t.duplicated > 0 || t.retransmissions > 0 then
-    Format.fprintf fmt " dropped=%d duplicated=%d retransmissions=%d" t.dropped t.duplicated
-      t.retransmissions;
+    Format.fprintf fmt " delivered=%d dropped=%d duplicated=%d retransmissions=%d" t.delivered
+      t.dropped t.duplicated t.retransmissions;
   List.iter (fun (l, r) -> Format.fprintf fmt "@,  %-24s %d" l r) (breakdown t);
   Format.fprintf fmt "@]"

@@ -17,6 +17,16 @@ val add : t -> label:string -> int -> unit
 (** [add_messages t k] records [k] point-to-point messages. *)
 val add_messages : t -> int -> unit
 
+(** [add_words t k] records [k] machine words of accepted message payload
+    (charged by the engine per send, after the bandwidth check). *)
+val add_words : t -> int -> unit
+
+(** [add_delivered t k] records [k] message copies actually placed in an
+    inbox. Without faults [delivered = messages]; under a fault adversary
+    [messages + duplicated = delivered + dropped] once no copy is in
+    flight — the conservation law the engine's audit mode enforces. *)
+val add_delivered : t -> int -> unit
+
 (** [add_dropped t k] records [k] messages destroyed by a fault adversary
     (lost on a link, or addressed to a crashed node). *)
 val add_dropped : t -> int -> unit
@@ -31,6 +41,8 @@ val add_retransmissions : t -> int -> unit
 
 val rounds : t -> int
 val messages : t -> int
+val words : t -> int
+val delivered : t -> int
 val dropped : t -> int
 val duplicated : t -> int
 val retransmissions : t -> int

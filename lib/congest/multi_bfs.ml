@@ -61,15 +61,19 @@ let run skeleton ~roots ?(seed = 0) ~metrics () =
           announce st node i d
         end)
       st.delayed;
-    (* one message per neighbor per round *)
+    (* one message per neighbor per round, in ascending neighbor order so
+       the adversary's RNG consumption is schedule-independent *)
     let outbox = ref [] in
-    Hashtbl.iter
-      (fun u q ->
-        if not (Queue.is_empty q) then outbox := (u, Queue.pop q) :: !outbox)
-      st.queues;
-    (st, !outbox)
+    Array.iter
+      (fun u ->
+        match Hashtbl.find_opt st.queues u with
+        | Some q when not (Queue.is_empty q) -> outbox := (u, Queue.pop q) :: !outbox
+        | _ -> ())
+      neighbors.(node);
+    (st, List.rev !outbox)
   in
   let active st =
+    (* order-insensitive boolean OR over queues [lint: hashtbl-order] *)
     Hashtbl.fold (fun _ q acc -> acc || not (Queue.is_empty q)) st.queues false
     || st.delayed <> []
        && List.exists (fun (_, i, _) -> st.dists.(i) > 0) st.delayed

@@ -24,12 +24,16 @@ module Make (M : Engine.MSG) = struct
     received : (int, unit) Hashtbl.t;  (* seqs already delivered to step *)
   }
 
-  type 'st node = { user : 'st; links : (int, link) Hashtbl.t }
+  (* [nbrs] is the sorted neighbor list: per-round link iteration walks it
+     instead of the [links] hashtable so packet launch order (and with it
+     the fault adversary's RNG consumption) is deterministic. *)
+  type 'st node = { user : 'st; links : (int, link) Hashtbl.t; nbrs : int array }
 
   let run skeleton ~init ~step ~active ?faults ?(rto = 4)
       ?max_rounds ?(max_words = Engine.default_max_words) ~metrics ~label () =
     if rto <= 2 then invalid_arg "Transport.run: rto must exceed the 2-round ack latency";
     let wrap_init v =
+      let nbrs = Digraph.neighbors skeleton v in
       let links = Hashtbl.create 8 in
       Array.iter
         (fun u ->
@@ -43,8 +47,8 @@ module Make (M : Engine.MSG) = struct
               ackq = Queue.create ();
               received = Hashtbl.create 16;
             })
-        (Digraph.neighbors skeleton v);
-      { user = init v; links }
+        nbrs;
+      { user = init v; links; nbrs }
     in
     let wrap_step ~round ~node:v st inbox =
       (* 1. absorb packets: clear acked messages, ack and dedup data *)
@@ -70,7 +74,7 @@ module Make (M : Engine.MSG) = struct
           | None -> ())
         inbox;
       (* 2. run the user's step on the deduplicated, sender-sorted inbox *)
-      let user_inbox = List.sort (fun (a, _) (b, _) -> compare a b) !fresh in
+      let user_inbox = List.sort (fun (a, _) (b, _) -> Int.compare a b) !fresh in
       let user, user_out = step ~round ~node:v st.user user_inbox in
       let queued_to = Hashtbl.create 4 in
       List.iter
@@ -78,19 +82,23 @@ module Make (M : Engine.MSG) = struct
           (match Hashtbl.find_opt st.links u with
           | None ->
               invalid_arg
-                (Printf.sprintf "Transport.run(%s): node %d sent to non-neighbor %d" label v u)
+                (Printf.sprintf "Transport.run(%s): round %d: node %d sent to non-neighbor %d"
+                   label round v u)
           | Some l -> Queue.add m l.sendq);
           if Hashtbl.mem queued_to u then
             invalid_arg
-              (Printf.sprintf "Transport.run(%s): node %d sent two messages to %d in one round"
-                 label v u);
+              (Printf.sprintf
+                 "Transport.run(%s): round %d: node %d sent two messages to %d in one round"
+                 label round v u);
           Hashtbl.add queued_to u ())
         user_out;
-      (* 3. per link: retransmit if the timeout expired, else launch the
-         next queued message; piggyback one owed ack *)
+      (* 3. per link, in ascending neighbor order: retransmit if the
+         timeout expired, else launch the next queued message; piggyback
+         one owed ack *)
       let out = ref [] in
-      Hashtbl.iter
-        (fun u l ->
+      Array.iter
+        (fun u ->
+          let l = Hashtbl.find st.links u in
           let data =
             match l.outstanding with
             | Some (s, m) when round >= l.retry_round ->
@@ -113,11 +121,12 @@ module Make (M : Engine.MSG) = struct
           in
           let ack = if Queue.is_empty l.ackq then None else Some (Queue.pop l.ackq) in
           if data <> None || ack <> None then out := (u, { Packet.data; ack }) :: !out)
-        st.links;
+        st.nbrs;
       ({ st with user }, !out)
     in
     let wrap_active st =
       active st.user
+      (* order-insensitive boolean OR over links [lint: hashtbl-order] *)
       || Hashtbl.fold
            (fun _ l busy ->
              busy || l.outstanding <> None

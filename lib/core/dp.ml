@@ -6,6 +6,15 @@ module Nice = Repro_treedec.Nice
 
 type 'a result = { value : 'a; witness : int list; table_words : int }
 
+exception Witness_failure of string
+
+let () =
+  Printexc.register_printer (function
+    | Witness_failure detail -> Some (Printf.sprintf "Dp.Witness_failure: %s" detail)
+    | _ -> None)
+
+let witness_failure fmt = Printf.ksprintf (fun s -> raise (Witness_failure s)) fmt
+
 let bot = min_int / 4
 let top = max_int / 4
 
@@ -138,11 +147,11 @@ let max_weight_independent_set ?weights g nice ~metrics =
   (* verify the witness *)
   List.iter
     (fun u ->
-      List.iter (fun v -> if u <> v && adj u v then failwith "Dp: witness not independent")
+      List.iter (fun v -> if u <> v && adj u v then witness_failure "mis: witness vertices %d and %d are adjacent" u v)
         witness)
     witness;
   let wsum = List.fold_left (fun acc v -> acc + w v) 0 witness in
-  if wsum <> value then failwith "Dp: witness weight mismatch";
+  if wsum <> value then witness_failure "mis: witness weighs %d, table says %d" wsum value;
   ignore n;
   let table_words = 1 lsl bmax in
   charge g nice ~table_words ~metrics ~label:"dp/mis";
@@ -158,7 +167,7 @@ let min_vertex_cover g nice ~metrics =
   Array.iter
     (fun e ->
       if e.Digraph.src <> e.Digraph.dst && in_is.(e.Digraph.src) && in_is.(e.Digraph.dst)
-      then failwith "Dp: vertex cover misses an edge")
+      then witness_failure "mvc: edge %d-%d not covered" e.Digraph.src e.Digraph.dst)
     (Digraph.edges (Digraph.skeleton g));
   { value = n - r.value; witness = cover; table_words = r.table_words }
 
@@ -305,8 +314,9 @@ let min_dominating_set g nice ~metrics =
       dominated.(v) <- true;
       Array.iter (fun u -> dominated.(u) <- true) (Digraph.neighbors skeleton v))
     witness;
-  if not (Array.for_all Fun.id dominated) then failwith "Dp: witness does not dominate";
-  if List.length witness <> value then failwith "Dp: dominating witness size mismatch";
+  if not (Array.for_all Fun.id dominated) then witness_failure "domset: some vertex is not dominated";
+  if List.length witness <> value then
+    witness_failure "domset: witness has %d vertices, table says %d" (List.length witness) value;
   let table_words = pow3.(bmax) in
   charge g nice ~table_words ~metrics ~label:"dp/domset";
   { value; witness; table_words }
@@ -528,7 +538,7 @@ let steiner_tree g nice ~terminals ~metrics =
   | _ -> (
       let table = solve nice in
       match Hashtbl.find_opt table { smask = 0; spart = []; closed = true } with
-      | None -> failwith "Dp.steiner_tree: terminals cannot be connected"
+      | None -> invalid_arg "Dp.steiner_tree: terminals cannot be connected"
       | Some (value, edges) ->
           let witness = List.sort_uniq compare edges in
           (* verify: witness connects all terminals at the stated weight *)
@@ -537,7 +547,7 @@ let steiner_tree g nice ~terminals ~metrics =
               (fun acc ei -> acc + (Digraph.edge g ei).Digraph.weight)
               0 witness
           in
-          if weight <> value then failwith "Dp.steiner_tree: witness weight mismatch";
+          if weight <> value then witness_failure "steiner: witness weighs %d, table says %d" weight value;
           let sub =
             Digraph.create ~directed:false n
               (List.map
@@ -553,7 +563,7 @@ let steiner_tree g nice ~terminals ~metrics =
               List.iter
                 (fun t ->
                   if dist.(t) >= Digraph.inf then
-                    failwith "Dp.steiner_tree: witness does not connect terminals")
+                    witness_failure "steiner: witness does not connect terminal %d" t)
                 rest);
           let table_words = 3 * !max_states in
           charge g nice ~table_words ~metrics ~label:"dp/steiner";

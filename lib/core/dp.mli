@@ -15,6 +15,12 @@ type 'a result = {
   table_words : int;  (** largest DP table exchanged *)
 }
 
+(** Raised when a computed witness fails its independent re-verification
+    (every solver checks its witness against the graph before returning).
+    This indicates a bug in the DP itself, never bad user input; the
+    payload names the problem and the violated check. *)
+exception Witness_failure of string
+
 (** [max_weight_independent_set ?weights g nice ~metrics] — maximum
     weight of an independent set (weights default to 1: maximum
     independent set). The witness is verified independent by the

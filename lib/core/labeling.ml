@@ -60,7 +60,7 @@ let of_string line =
             set t ~anchor:a ~d_to ~d_from;
             go more
         | [] -> t
-        | _ -> failwith "Labeling.of_string: malformed entry"
+        | _ -> invalid_arg (Printf.sprintf "Labeling.of_string: malformed entry in %S" line)
       in
       go rest
-  | _ -> failwith "Labeling.of_string: missing owner"
+  | _ -> invalid_arg (Printf.sprintf "Labeling.of_string: missing owner in %S" line)

@@ -22,9 +22,9 @@ let of_string text =
     |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   match lines with
-  | [] -> failwith "Io.of_string: empty input"
+  | [] -> invalid_arg "Io.of_string: empty input"
   | (lno, header) :: rest -> (
-      let fail lno msg = failwith (Printf.sprintf "Io.of_string: line %d: %s" lno msg) in
+      let fail lno msg = invalid_arg (Printf.sprintf "Io.of_string: line %d: %s" lno msg) in
       let directed, n, m =
         match String.split_on_char ' ' header |> List.filter (( <> ) "") with
         | [ "digraph"; n; m ] -> (true, int_of_string n, int_of_string m)

@@ -67,7 +67,9 @@ let run g ~metrics =
           end
         end)
       best;
-    if not !merged then failwith "Mst.run: no progress (unexpected)"
+    if not !merged then
+      invalid_arg
+        (Printf.sprintf "Mst.run: no component merged in phase %d (internal invariant)" !phases)
   done;
   let weight =
     List.fold_left (fun acc ei -> acc + (Digraph.edge g ei).Digraph.weight) 0 !chosen

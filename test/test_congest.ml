@@ -15,6 +15,9 @@ module Transport = Repro_congest.Transport
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* every engine run in this suite is audited: accounting drift raises *)
+let () = Engine.audit_enabled := true
+
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
 
@@ -49,6 +52,22 @@ let test_metrics_breakdown_ordering () =
   Alcotest.(check (list (pair string int))) "decreasing rounds"
     [ ("big", 9); ("mid", 4); ("small", 1) ]
     (Metrics.breakdown m)
+
+let test_metrics_words_delivered () =
+  let m = Metrics.create () in
+  check_int "fresh words" 0 (Metrics.words m);
+  check_int "fresh delivered" 0 (Metrics.delivered m);
+  Metrics.add_words m 4;
+  Metrics.add_words m 3;
+  Metrics.add_delivered m 2;
+  check_int "words" 7 (Metrics.words m);
+  check_int "delivered" 2 (Metrics.delivered m);
+  let b = Metrics.create () in
+  Metrics.add_words b 5;
+  Metrics.add_delivered b 1;
+  Metrics.merge ~into:m b;
+  check_int "merged words" 12 (Metrics.words m);
+  check_int "merged delivered" 3 (Metrics.delivered m)
 
 let test_metrics_fault_counters () =
   let m = Metrics.create () in
@@ -104,7 +123,7 @@ let test_engine_rejects_non_neighbor () =
   let sk = Generators.path 3 in
   let m = Metrics.create () in
   Alcotest.check_raises "non neighbor"
-    (Invalid_argument "Engine.run(t): node 0 sent to non-neighbor 2") (fun () ->
+    (Invalid_argument "Engine.run(t): round 0: node 0 sent to non-neighbor 2") (fun () ->
       ignore
         (E.run sk
            ~init:(fun _ -> true)
@@ -163,6 +182,172 @@ let test_engine_inbox_sorted_by_sender () =
     "ascending sender order"
     [ (1, 1); (2, 2); (3, 3); (4, 4); (5, 5) ]
     !seen
+
+let test_engine_oversize_diagnostics () =
+  (* bandwidth violations name the run, round, link, and measured size *)
+  let module WMsg = struct
+    type t = int
+
+    let words m = m
+  end in
+  let module EW = Engine.Make (WMsg) in
+  let sk = Generators.path 2 in
+  let m = Metrics.create () in
+  Alcotest.check_raises "oversized"
+    (Invalid_argument "Engine.run(t): round 0: node 0 -> 1: message of 7 words (cap 4)")
+    (fun () ->
+      ignore
+        (EW.run sk
+           ~init:(fun _ -> true)
+           ~step:(fun ~round:_ ~node st _ ->
+             if node = 0 && st then (false, [ (1, 7) ]) else (false, []))
+           ~active:Fun.id ~metrics:m ~label:"t" ()))
+
+let test_engine_counts_words_and_delivered () =
+  let sk = Generators.path 2 in
+  let m = Metrics.create () in
+  ignore
+    (E.run sk
+       ~init:(fun v -> v = 0)
+       ~step:(fun ~round:_ ~node st _ ->
+         if node = 0 && st then (false, [ (1, 9) ]) else (false, []))
+       ~active:Fun.id ~metrics:m ~label:"t" ());
+  check_int "messages" 1 (Metrics.messages m);
+  check_int "words" 1 (Metrics.words m);
+  (* reliable links: everything sent is delivered *)
+  check_int "delivered" 1 (Metrics.delivered m)
+
+(* ------------------------------------------------------------------ *)
+(* Audit mode *)
+
+let test_audit_catches_unstable_words () =
+  (* M.words must be a function of the message: the auditor measures each
+     send twice and raises on disagreement *)
+  let calls = ref 0 in
+  let module Unstable = struct
+    type t = unit
+
+    let words () =
+      incr calls;
+      if !calls mod 2 = 0 then 2 else 1
+  end in
+  let module EU = Engine.Make (Unstable) in
+  let sk = Generators.path 2 in
+  let m = Metrics.create () in
+  check_bool "raises" true
+    (try
+       ignore
+         (EU.run sk
+            ~init:(fun v -> v = 0)
+            ~step:(fun ~round:_ ~node st _ ->
+              if node = 0 && st then (false, [ (1, ()) ]) else (false, []))
+            ~active:Fun.id ~audit:true ~metrics:m ~label:"t" ());
+       false
+     with Engine.Audit_violation { round = 0; _ } -> true)
+
+let test_audit_catches_inflight_mutation () =
+  (* a sender that mutates a message after handing it to the network
+     breaks the bandwidth model: the auditor re-measures at delivery *)
+  let module RefMsg = struct
+    type t = int ref
+
+    let words m = !m
+  end in
+  let module ER = Engine.Make (RefMsg) in
+  let sk = Generators.path 2 in
+  let cell = ref 1 in
+  let m = Metrics.create () in
+  (* seed chosen so the adversary holds the copy back at least one round,
+     leaving a window for the mutation below *)
+  let faults = Fault.create ~seed:4 (Fault.profile ~max_delay:3 ()) in
+  check_bool "raises" true
+    (try
+       ignore
+         (ER.run sk
+            ~init:(fun v -> v = 0)
+            ~step:(fun ~round ~node st _ ->
+              if node = 0 && round > 0 then cell := 3;
+              if node = 0 && st then (false, [ (1, cell) ]) else (false, []))
+            ~active:Fun.id ~faults ~audit:true ~max_rounds:50 ~metrics:m ~label:"t" ());
+       false
+     with Engine.Audit_violation _ -> true)
+
+let test_audit_catches_metrics_drift () =
+  (* a step function charging traffic counters mid-run corrupts the
+     engine's accounting; the auditor reports it as drift *)
+  let sk = Generators.path 2 in
+  let m = Metrics.create () in
+  check_bool "raises" true
+    (try
+       ignore
+         (E.run sk
+            ~init:(fun v -> v = 0)
+            ~step:(fun ~round:_ ~node st _ ->
+              if node = 0 && st then Metrics.add_messages m 5;
+              if node = 0 && st then (false, [ (1, 1) ]) else (false, []))
+            ~active:Fun.id ~audit:true ~metrics:m ~label:"t" ());
+       false
+     with Engine.Audit_violation { round = 0; _ } -> true)
+
+let test_audit_off_permits_drift () =
+  (* the same drift with ~audit:false (overriding the suite-wide default)
+     must pass: auditing is opt-out-able for production runs *)
+  let sk = Generators.path 2 in
+  let m = Metrics.create () in
+  ignore
+    (E.run sk
+       ~init:(fun v -> v = 0)
+       ~step:(fun ~round:_ ~node st _ ->
+         if node = 0 && st then Metrics.add_messages m 5;
+         if node = 0 && st then (false, [ (1, 1) ]) else (false, []))
+       ~active:Fun.id ~audit:false ~metrics:m ~label:"t" ());
+  check_int "extra charge kept" 6 (Metrics.messages m)
+
+let test_audit_clean_under_faults () =
+  (* drops, duplicates, delays, crashes: the conservation invariants hold
+     on a healthy engine under an adversarial schedule *)
+  let g = Generators.grid 6 6 in
+  let m = Metrics.create () in
+  let faults =
+    Fault.create ~seed:29
+      (Fault.profile ~drop:0.3 ~duplicate:0.25 ~max_delay:3
+         ~crashes:[ { Fault.node = 7; from_round = 3; until_round = Some 9 } ]
+         ())
+  in
+  let t = Bfs_tree.build ~faults g ~root:0 ~metrics:m in
+  check_bool "ran" true (t.Bfs_tree.dist.(0) = 0);
+  check_int "conservation at rest" 0
+    (Metrics.messages m + Metrics.duplicated m - Metrics.delivered m - Metrics.dropped m)
+
+let prop_metrics_conservation =
+  QCheck.Test.make
+    ~name:"audit: messages + duplicated = delivered + dropped across fault profiles" ~count:30
+    QCheck.(
+      quad (int_range 0 1000) (int_range 5 24) (int_range 0 50) (int_range 0 2))
+    (fun (seed, n, drop_pct, delay) ->
+      let g = Generators.gnp_connected ~seed n 0.2 in
+      let profile =
+        Fault.profile ~drop:(float_of_int drop_pct /. 100.0) ~duplicate:0.25 ~max_delay:delay
+          ()
+      in
+      let root = seed mod n in
+      (* raw faulty run *)
+      let m = Metrics.create () in
+      ignore (Bfs_tree.build ~faults:(Fault.create ~seed:(seed + 17) profile) g ~root ~metrics:m);
+      let raw_ok =
+        Metrics.messages m + Metrics.duplicated m = Metrics.delivered m + Metrics.dropped m
+      in
+      (* same law through the reliable transport *)
+      let mr = Metrics.create () in
+      ignore
+        (Bfs_tree.build
+           ~faults:(Fault.create ~seed:(seed + 23) profile)
+           ~reliable:true g ~root ~metrics:mr);
+      let reliable_ok =
+        Metrics.messages mr + Metrics.duplicated mr
+        = Metrics.delivered mr + Metrics.dropped mr
+      in
+      raw_ok && reliable_ok)
 
 (* ------------------------------------------------------------------ *)
 (* Fault adversary *)
@@ -557,6 +742,7 @@ let () =
         prop_bellman_ford;
         prop_flood_components;
         prop_transport_oracle_exact;
+        prop_metrics_conservation;
       ]
   in
   Alcotest.run "repro_congest"
@@ -566,6 +752,7 @@ let () =
           Alcotest.test_case "accumulates" `Quick test_metrics_accumulates;
           Alcotest.test_case "merge" `Quick test_metrics_merge;
           Alcotest.test_case "breakdown ordering" `Quick test_metrics_breakdown_ordering;
+          Alcotest.test_case "words and delivered" `Quick test_metrics_words_delivered;
           Alcotest.test_case "fault counters" `Quick test_metrics_fault_counters;
           Alcotest.test_case "merge fault counters" `Quick test_metrics_merge_fault_counters;
         ] );
@@ -576,6 +763,16 @@ let () =
           Alcotest.test_case "round counting" `Quick test_engine_counts_rounds;
           Alcotest.test_case "round limit payload" `Quick test_engine_round_limit_payload;
           Alcotest.test_case "inbox sorted by sender" `Quick test_engine_inbox_sorted_by_sender;
+          Alcotest.test_case "oversize diagnostics" `Quick test_engine_oversize_diagnostics;
+          Alcotest.test_case "words and delivered" `Quick test_engine_counts_words_and_delivered;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "unstable words" `Quick test_audit_catches_unstable_words;
+          Alcotest.test_case "in-flight mutation" `Quick test_audit_catches_inflight_mutation;
+          Alcotest.test_case "metrics drift" `Quick test_audit_catches_metrics_drift;
+          Alcotest.test_case "audit off permits drift" `Quick test_audit_off_permits_drift;
+          Alcotest.test_case "clean under faults" `Quick test_audit_clean_under_faults;
         ] );
       ( "faults",
         [

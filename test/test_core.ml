@@ -9,6 +9,9 @@ module Labeling = Repro_core.Labeling
 module Dl = Repro_core.Dl
 module Sssp = Repro_core.Sssp
 
+(* audit every CONGEST engine run in this suite: accounting drift raises *)
+let () = Repro_congest.Engine.audit_enabled := true
+
 module Stateful = Repro_core.Stateful
 module Product = Repro_core.Product
 module Cdl = Repro_core.Cdl
@@ -49,7 +52,7 @@ let test_labeling_serialization_roundtrip () =
     (Labeling.dist_to la' 3 = Some 10 && Labeling.dist_from la' 3 = Some 12
     && Labeling.dist_to la' 9 = Some Digraph.inf);
   check_bool "malformed rejected" true
-    (try ignore (Labeling.of_string "7 3 10"); false with Failure _ -> true)
+    (try ignore (Labeling.of_string "7 3 10"); false with Invalid_argument _ -> true)
 
 let test_labels_decode_after_roundtrip () =
   let g = Generators.random_weights ~seed:51 ~max_weight:9 (Generators.k_tree ~seed:51 20 2) in

@@ -7,6 +7,9 @@ module Nice = Repro_treedec.Nice
 module Build = Repro_treedec.Build
 module Dp = Repro_core.Dp
 
+(* audit every CONGEST engine run in this suite: accounting drift raises *)
+let () = Repro_congest.Engine.audit_enabled := true
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 

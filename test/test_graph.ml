@@ -311,7 +311,7 @@ let test_io_rejects_malformed () =
         (try
            ignore (Repro_graph.Io.of_string text);
            false
-         with Failure _ -> true))
+         with Invalid_argument _ -> true))
     [ ""; "triangle 3 1\n0 1 1"; "graph 3 2\n0 1 1"; "graph 2 1\n0 zebra 1" ]
 
 let prop_io_roundtrip =

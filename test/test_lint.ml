@@ -1,0 +1,199 @@
+(* Unit tests for the model-compliance lint (tools/lint): one positive
+   and one negative fixture per rule, scoping, and the baseline
+   workflow (suppression, exact counts, stale detection). *)
+
+module Lint = Repro_lint.Lint_core
+
+let () = Repro_congest.Engine.audit_enabled := true
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* lint a fixture source as if it lived at [file] *)
+let findings ?(file = "lib/congest/fixture.ml") src =
+  match Lint.lint_source ~file src with
+  | Ok fs -> fs
+  | Error msg -> Alcotest.failf "fixture did not parse: %s" msg
+
+let rules_of ?file src = List.map (fun f -> f.Lint.rule) (findings ?file src)
+
+let flags rule ?file src =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s flags %S" rule src)
+    true
+    (List.mem rule (rules_of ?file src))
+
+let clean rule ?file src =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s accepts %S" rule src)
+    false
+    (List.mem rule (rules_of ?file src))
+
+(* ------------------------------------------------------------------ *)
+(* One positive / one negative fixture per rule *)
+
+let test_unseeded_random () =
+  flags "unseeded-random" "let x = Random.int 10";
+  flags "unseeded-random" "let () = Random.self_init ()";
+  flags "unseeded-random" "let s = Random.State.make_self_init ()";
+  clean "unseeded-random" "let x = Random.State.int rng 10";
+  clean "unseeded-random" "let s = Random.State.make [| seed |]"
+
+let test_ambient_env () =
+  flags "ambient-env" "let t = Sys.time ()";
+  flags "ambient-env" "let h = Sys.getenv \"HOME\"";
+  flags "ambient-env" "let t = Unix.gettimeofday ()";
+  clean "ambient-env" "let n = Sys.word_size";
+  clean "ambient-env" "let t = now ()"
+
+let test_unsafe_escape () =
+  flags "unsafe-escape" "let x = Obj.magic y";
+  flags "unsafe-escape" "let s = Marshal.to_string v []";
+  clean "unsafe-escape" "let x = magic y"
+
+let test_lib_abort () =
+  flags "lib-abort" "let f () = failwith \"boom\"";
+  flags "lib-abort" "let f = function Some x -> x | None -> assert false";
+  clean "lib-abort" "let f () = invalid_arg \"f: bad input\"";
+  (* ordinary asserts are fine: they carry the condition *)
+  clean "lib-abort" "let f x = assert (x > 0)";
+  (* the rule only binds library code *)
+  clean "lib-abort" ~file:"bin/fixture.ml" "let f () = failwith \"cli usage\"";
+  clean "lib-abort" ~file:"test/fixture.ml" "let f () = failwith \"test\""
+
+let test_catch_all () =
+  flags "catch-all" "let x = try f () with _ -> 0";
+  clean "catch-all" "let x = try f () with Not_found -> 0";
+  (* binding the exception is allowed: it can be inspected or re-raised *)
+  clean "catch-all" "let x = try f () with e -> raise e"
+
+let test_poly_compare () =
+  flags "poly-compare" "let s = List.sort compare xs";
+  flags "poly-compare" "let c = compare a b";
+  flags "poly-compare" "let c = Stdlib.compare a b";
+  clean "poly-compare" "let s = List.sort Int.compare xs";
+  clean "poly-compare" "let c = String.compare a b";
+  (* scoped to lib/congest: approximation is too coarse elsewhere *)
+  clean "poly-compare" ~file:"lib/core/fixture.ml" "let s = List.sort compare xs"
+
+let test_hashtbl_order () =
+  flags "hashtbl-order" "let () = Hashtbl.iter f tbl";
+  flags "hashtbl-order" "let x = Hashtbl.fold f tbl 0";
+  clean "hashtbl-order" "let x = Hashtbl.find tbl k";
+  clean "hashtbl-order" ~file:"lib/treedec/fixture.ml" "let () = Hashtbl.iter f tbl"
+
+let test_finding_positions () =
+  match findings "let a = 1\nlet b = Random.int 4" with
+  | [ f ] ->
+      check_int "line" 2 f.Lint.line;
+      check_int "col" 8 f.Lint.col;
+      Alcotest.(check string) "file" "lib/congest/fixture.ml" f.Lint.file
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_nested_expressions_are_walked () =
+  flags "unseeded-random"
+    "let f xs = List.map (fun x -> match x with Some y -> y + Random.int 3 | None -> 0) xs"
+
+let test_rule_list_is_consistent () =
+  check_int "every rule documented" (List.length Lint.rules) (List.length Lint.rule_ids);
+  List.iter
+    (fun (id, descr) ->
+      check_bool (id ^ " has description") true (String.length descr > 0))
+    Lint.rules
+
+(* ------------------------------------------------------------------ *)
+(* Baseline workflow *)
+
+let two_aborts = "let f () = failwith \"a\"\nlet g () = failwith \"b\""
+
+let test_baseline_parse () =
+  match
+    Lint.parse_baseline
+      "# comment\n\nlib-abort lib/core/dp.ml 4 # unreachable arms\n"
+  with
+  | Ok [ e ] ->
+      Alcotest.(check string) "rule" "lib-abort" e.Lint.b_rule;
+      Alcotest.(check string) "file" "lib/core/dp.ml" e.Lint.b_file;
+      check_int "count" 4 e.Lint.count;
+      Alcotest.(check string) "why" "unreachable arms" e.Lint.justification
+  | Ok es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+  | Error msgs -> Alcotest.failf "parse failed: %s" (String.concat "; " msgs)
+
+let test_baseline_rejects_garbage () =
+  let bad text = Alcotest.(check bool) text true (Result.is_error (Lint.parse_baseline text)) in
+  bad "no-such-rule lib/a.ml 1 # why";
+  bad "lib-abort lib/a.ml 0 # why";
+  bad "lib-abort lib/a.ml one # why";
+  bad "lib-abort lib/a.ml 1";
+  (* justification is mandatory *)
+  bad "lib-abort lib/a.ml 1 # why\nlib-abort lib/a.ml 2 # dup"
+
+let entry rule file count =
+  { Lint.b_rule = rule; b_file = file; count; justification = "test" }
+
+let test_baseline_suppresses_exact_count () =
+  let fs = findings two_aborts in
+  check_int "two findings" 2 (List.length fs);
+  let out = Lint.apply_baseline [ entry "lib-abort" "lib/congest/fixture.ml" 2 ] fs in
+  check_int "all suppressed" 0 (List.length out.Lint.fresh);
+  check_int "nothing stale" 0 (List.length out.Lint.stale)
+
+let test_baseline_reports_excess () =
+  let fs = findings two_aborts in
+  let out = Lint.apply_baseline [ entry "lib-abort" "lib/congest/fixture.ml" 1 ] fs in
+  (* more findings than baselined: the whole group resurfaces *)
+  check_int "excess reported" 2 (List.length out.Lint.fresh);
+  check_int "nothing stale" 0 (List.length out.Lint.stale)
+
+let test_baseline_detects_stale () =
+  let fs = findings "let f () = failwith \"a\"" in
+  let out = Lint.apply_baseline [ entry "lib-abort" "lib/congest/fixture.ml" 2 ] fs in
+  check_int "suppressed" 0 (List.length out.Lint.fresh);
+  (match out.Lint.stale with
+  | [ (e, actual) ] ->
+      check_int "expected" 2 e.Lint.count;
+      check_int "actual" 1 actual
+  | l -> Alcotest.failf "expected one stale entry, got %d" (List.length l));
+  (* an entry for a file with no findings at all is stale too *)
+  let out = Lint.apply_baseline [ entry "lib-abort" "lib/other.ml" 1 ] fs in
+  check_int "unmatched entry stale" 1 (List.length out.Lint.stale);
+  check_int "finding reported" 1 (List.length out.Lint.fresh)
+
+let test_baseline_is_per_rule_and_file () =
+  let fs = findings "let f () = failwith \"a\"\nlet s = List.sort compare xs" in
+  let out = Lint.apply_baseline [ entry "lib-abort" "lib/congest/fixture.ml" 1 ] fs in
+  (* the poly-compare finding is not covered by the lib-abort entry *)
+  check_int "other rule still fresh" 1 (List.length out.Lint.fresh);
+  Alcotest.(check string) "rule" "poly-compare" (List.hd out.Lint.fresh).Lint.rule
+
+let test_parse_error_is_reported () =
+  check_bool "syntax error surfaces" true
+    (Result.is_error (Lint.lint_source ~file:"lib/broken.ml" "let let let"))
+
+let () =
+  Alcotest.run "repro_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "unseeded-random" `Quick test_unseeded_random;
+          Alcotest.test_case "ambient-env" `Quick test_ambient_env;
+          Alcotest.test_case "unsafe-escape" `Quick test_unsafe_escape;
+          Alcotest.test_case "lib-abort" `Quick test_lib_abort;
+          Alcotest.test_case "catch-all" `Quick test_catch_all;
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "hashtbl-order" `Quick test_hashtbl_order;
+          Alcotest.test_case "positions" `Quick test_finding_positions;
+          Alcotest.test_case "nested expressions" `Quick test_nested_expressions_are_walked;
+          Alcotest.test_case "rule list" `Quick test_rule_list_is_consistent;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "parse" `Quick test_baseline_parse;
+          Alcotest.test_case "rejects garbage" `Quick test_baseline_rejects_garbage;
+          Alcotest.test_case "suppresses exact count" `Quick test_baseline_suppresses_exact_count;
+          Alcotest.test_case "reports excess" `Quick test_baseline_reports_excess;
+          Alcotest.test_case "detects stale" `Quick test_baseline_detects_stale;
+          Alcotest.test_case "per rule and file" `Quick test_baseline_is_per_rule_and_file;
+          Alcotest.test_case "parse error" `Quick test_parse_error_is_reported;
+        ] );
+    ]

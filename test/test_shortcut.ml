@@ -8,6 +8,9 @@ module Pa = Repro_shortcut.Pa
 module Mvc = Repro_shortcut.Mvc
 module Primitives = Repro_shortcut.Primitives
 
+(* audit every CONGEST engine run in this suite: accounting drift raises *)
+let () = Repro_congest.Engine.audit_enabled := true
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 

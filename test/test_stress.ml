@@ -21,6 +21,9 @@ module Cdl = Repro_core.Cdl
 module Matching = Repro_core.Matching
 module Girth = Repro_core.Girth
 
+(* audit every CONGEST engine run in this suite: accounting drift raises *)
+let () = Repro_congest.Engine.audit_enabled := true
+
 let check_int = Alcotest.(check int)
 
 (* a zoo of weighted instances, some directed, some with parallel edges

@@ -9,6 +9,9 @@ module Split = Repro_treedec.Split
 module Separator = Repro_treedec.Separator
 module Build = Repro_treedec.Build
 
+(* audit every CONGEST engine run in this suite: accounting drift raises *)
+let () = Repro_congest.Engine.audit_enabled := true
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 

@@ -1,0 +1,94 @@
+(* CLI driver for the model-compliance lint: [lint [--format text|json]
+   [--baseline FILE] <file-or-dir>...]. Directories are walked
+   recursively for [.ml] files (in sorted order, so output and baseline
+   application are stable). Exits 0 when clean, 1 on findings or stale
+   baseline entries, 2 on usage/parse errors. *)
+
+module Lint_core = Repro_lint.Lint_core
+
+let usage = "lint [--format text|json] [--baseline FILE] <file-or-dir>..."
+
+let rec collect path acc =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left (fun acc entry -> collect (Filename.concat path entry) acc) acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let format = ref "text" in
+  let baseline_path = ref "" in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " output format (default text)" );
+      ("--baseline", Arg.Set_string baseline_path, "FILE suppress baselined findings");
+      ( "--rules",
+        Arg.Unit
+          (fun () ->
+            List.iter (fun (id, d) -> Printf.printf "%-16s %s\n" id d) Lint_core.rules;
+            exit 0),
+        " list rule ids and exit" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let files = List.fold_left (fun acc p -> collect p acc) [] (List.rev !paths) in
+  let files = List.sort_uniq String.compare files in
+  let findings = ref [] and broken = ref false in
+  List.iter
+    (fun file ->
+      match Lint_core.lint_file file with
+      | Ok fs -> findings := !findings @ fs
+      | Error msg ->
+          Printf.eprintf "lint: cannot parse %s:\n%s\n" file msg;
+          broken := true)
+    files;
+  if !broken then exit 2;
+  let outcome =
+    match !baseline_path with
+    | "" -> { Lint_core.fresh = !findings; stale = [] }
+    | path -> (
+        let ic = open_in_bin path in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Lint_core.parse_baseline text with
+        | Ok entries -> Lint_core.apply_baseline entries !findings
+        | Error msgs ->
+            List.iter prerr_endline msgs;
+            exit 2)
+  in
+  (match !format with
+  | "json" ->
+      Format.printf "[@[<v>";
+      List.iteri
+        (fun i f ->
+          if i > 0 then Format.printf ",@,";
+          Format.printf "%a" Lint_core.pp_finding_json f)
+        outcome.Lint_core.fresh;
+      Format.printf "@]]@."
+  | _ ->
+      List.iter
+        (fun f -> Format.printf "%a@." Lint_core.pp_finding_text f)
+        outcome.Lint_core.fresh);
+  List.iter
+    (fun ((e : Lint_core.baseline_entry), actual) ->
+      Printf.eprintf
+        "lint: stale baseline entry: %s %s expects %d finding(s) but %d exist — shrink the \
+         baseline\n"
+        e.Lint_core.b_rule e.Lint_core.b_file e.Lint_core.count actual)
+    outcome.Lint_core.stale;
+  let fresh = List.length outcome.Lint_core.fresh in
+  if fresh > 0 then
+    Printf.eprintf "lint: %d finding(s) over %d file(s); see DESIGN.md for the rule table\n"
+      fresh (List.length files);
+  if fresh > 0 || outcome.Lint_core.stale <> [] then exit 1

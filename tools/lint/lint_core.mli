@@ -1,0 +1,54 @@
+(** Model-compliance lint over the repository's OCaml sources (see
+    DESIGN.md "Model compliance & static analysis").
+
+    Parses [.ml] files with [compiler-libs] and walks the Parsetree,
+    reporting determinism/model violations with stable rule ids.
+    Deliberate exceptions live in a committed baseline file; the build
+    fails on new findings and on stale baseline entries. *)
+
+type finding = { rule : string; file : string; line : int; col : int; message : string }
+
+(** [(id, description)] for every rule the analyzer knows. *)
+val rules : (string * string) list
+
+val rule_ids : string list
+
+(** [applies rule file] — is [rule] in force for [file]? Some rules are
+    scoped: [lib-abort] to [lib/], [poly-compare] and [hashtbl-order] to
+    [lib/congest/]. *)
+val applies : string -> string -> bool
+
+(** [lint_source ~file src] parses [src] (attributing locations to
+    [file], which also drives rule scoping) and returns its findings in
+    source order, or a parse-error message. *)
+val lint_source : file:string -> string -> (finding list, string) result
+
+(** [lint_file path] reads and lints one file. *)
+val lint_file : string -> (finding list, string) result
+
+type baseline_entry = {
+  b_rule : string;
+  b_file : string;
+  count : int;  (** exact number of findings this entry covers *)
+  justification : string;  (** required one-line why *)
+}
+
+(** Parses a baseline file: one [<rule> <file> <count> # <justification>]
+    entry per line, ['#'] comments and blank lines ignored. Rejects
+    unknown rules, duplicate entries, non-positive counts, and entries
+    with no justification. *)
+val parse_baseline : string -> (baseline_entry list, string list) result
+
+type baseline_outcome = {
+  fresh : finding list;
+      (** findings not covered: either no entry, or more findings than the
+          entry's count (then every finding of that group is reported). *)
+  stale : (baseline_entry * int) list;
+      (** entries whose count exceeds the actual findings, with the actual
+          count — the baseline must shrink when violations are fixed. *)
+}
+
+val apply_baseline : baseline_entry list -> finding list -> baseline_outcome
+
+val pp_finding_text : Format.formatter -> finding -> unit
+val pp_finding_json : Format.formatter -> finding -> unit
