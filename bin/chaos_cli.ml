@@ -1,0 +1,95 @@
+(* Chaos smoke driver: sweep fault profiles — drops, duplication, delay,
+   freeze and amnesia crashes — over BFS and the Bellman-Ford SSSP
+   baseline on small k-trees, with the engine invariant auditor forced
+   on, and check every output against its centralized oracle. Exits
+   non-zero on the first mismatch (or audit violation, which raises).
+   This is the CI job's entry point; see .github/workflows/ci.yml. *)
+
+module Digraph = Repro_graph.Digraph
+module Generators = Repro_graph.Generators
+module Traversal = Repro_graph.Traversal
+module Shortest_path = Repro_graph.Shortest_path
+module Metrics = Repro_congest.Metrics
+module Engine = Repro_congest.Engine
+module Fault = Repro_congest.Fault
+module Recovery = Repro_congest.Recovery
+module Bfs_tree = Repro_congest.Bfs_tree
+module Bellman_ford = Repro_congest.Bellman_ford
+open Cmdliner
+
+let profiles =
+  [
+    ("drop-heavy", Fault.profile ~drop:0.3 ~max_delay:1 ());
+    ("dup-delay", Fault.profile ~duplicate:0.4 ~max_delay:3 ());
+    ( "freeze-crash",
+      Fault.profile ~drop:0.1 ~crashes:[ Fault.crash 2 ~from:3 ~until:15 ] () );
+    ( "amnesia",
+      Fault.profile
+        ~crashes:[ Fault.crash 3 ~from:2 ~until:14 ~mode:Fault.Amnesia ]
+        () );
+    ( "amnesia-lossy",
+      Fault.profile ~drop:0.15 ~duplicate:0.1 ~max_delay:1
+        ~crashes:
+          [
+            Fault.crash 1 ~from:4 ~until:12 ~mode:Fault.Amnesia;
+            Fault.crash 5 ~from:8 ~until:22 ~mode:Fault.Amnesia;
+          ]
+        () );
+  ]
+
+let run seeds checkpoint_every =
+  Engine.audit_enabled := true;
+  let failures = ref 0 in
+  let case ~graph ~profile_name ~seed label ok m =
+    Format.printf "%-14s %-16s seed=%-3d %-12s %s (%d rounds, %d recoveries)@."
+      graph profile_name seed label
+      (if ok then "exact" else "MISMATCH")
+      (Metrics.rounds m) (Metrics.recoveries m);
+    if not ok then incr failures
+  in
+  let recovery = { Recovery.checkpoint_every } in
+  List.iter
+    (fun (gname, g) ->
+      let skel = Digraph.skeleton g in
+      List.iter
+        (fun (pname, profile) ->
+          for seed = 1 to seeds do
+            let faults () = Fault.create ~seed profile in
+            let m = Metrics.create () in
+            let t = Bfs_tree.build ~faults:(faults ()) ~recovery skel ~root:0 ~metrics:m in
+            case ~graph:gname ~profile_name:pname ~seed "bfs"
+              (t.Bfs_tree.dist = Traversal.bfs_undirected skel 0)
+              m;
+            let m = Metrics.create () in
+            let d = Bellman_ford.run ~faults:(faults ()) ~recovery g ~source:0 ~metrics:m in
+            case ~graph:gname ~profile_name:pname ~seed "sssp"
+              (d = Shortest_path.dijkstra g 0)
+              m
+          done)
+        profiles)
+    [
+      ("ktree-24-2", Generators.random_weights ~seed:5 ~max_weight:9 (Generators.k_tree ~seed:5 24 2));
+      ( "partial-32-3",
+        Generators.random_weights ~seed:7 ~max_weight:9
+          (Generators.partial_k_tree ~seed:7 32 3 ~keep:0.6) );
+    ];
+  if !failures > 0 then begin
+    Format.printf "%d chaos case(s) FAILED@." !failures;
+    exit 1
+  end;
+  Format.printf "all chaos cases exact (audit on)@."
+
+let seeds_t =
+  Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Fault seeds per profile.")
+
+let checkpoint_every_t =
+  Arg.(
+    value & opt int 4
+    & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Recovery checkpoint interval.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "chaos_cli" ~doc:"Fault-profile sweep with oracle checks (CI chaos smoke)")
+    Term.(const run $ seeds_t $ checkpoint_every_t)
+
+let () = exit (Cmd.eval cmd)

@@ -106,7 +106,11 @@ let graph_t =
    under a seeded adversary, over the reliable transport unless
    --unreliable asks for raw faulty links. *)
 
-type fault_config = { faults : Fault.t option; reliable : bool }
+type fault_config = {
+  faults : Fault.t option;
+  reliable : bool;
+  recovery : Repro_congest.Recovery.config option;
+}
 
 let drop_t =
   Arg.(
@@ -138,28 +142,99 @@ let unreliable_t =
            acknowledged transport (demonstrates fragility; the oracle check \
            will typically fail).")
 
-let make_fault_config drop dup delay fault_seed unreliable =
-  if drop = 0.0 && dup = 0.0 && delay = 0 then Ok { faults = None; reliable = false }
+(* --crash NODE:FROM[:UNTIL[:MODE]] — repeatable. MODE is freeze (default)
+   or amnesia; omitting UNTIL makes it a crash-stop (never restarts). *)
+let parse_crash s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad --crash %S (expected NODE:FROM[:UNTIL[:MODE]], MODE in {freeze, amnesia})" s)
+  in
+  let int_of s = int_of_string_opt (String.trim s) in
+  let mode_of = function
+    | "freeze" -> Some Fault.Freeze
+    | "amnesia" -> Some Fault.Amnesia
+    | _ -> None
+  in
+  match String.split_on_char ':' s with
+  | [ node; from ] -> (
+      match (int_of node, int_of from) with
+      | Some node, Some from -> Ok (Fault.crash node ~from)
+      | _ -> fail ())
+  | [ node; from; until ] -> (
+      match (int_of node, int_of from, int_of until) with
+      | Some node, Some from, Some until -> Ok (Fault.crash node ~from ~until)
+      | _ -> fail ())
+  | [ node; from; until; mode ] -> (
+      match (int_of node, int_of from, int_of until, mode_of (String.trim mode)) with
+      | Some node, Some from, Some until, Some mode ->
+          Ok (Fault.crash node ~from ~until ~mode)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let crash_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "crash" ] ~docv:"NODE:FROM[:UNTIL[:MODE]]"
+        ~doc:
+          "Crash NODE from round FROM (repeatable). With UNTIL the node \
+           restarts at that round; MODE freeze (default) preserves its state \
+           across the outage, amnesia wipes it (re-runs init, or restores from \
+           the recovery layer's checkpoints when --checkpoint-every is given).")
+
+let checkpoint_every_t =
+  Arg.(
+    value & opt int (-1)
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Run under the checkpoint/recovery layer, snapshotting node state to \
+           simulated stable storage every N rounds (0 = recovery handshake \
+           only, no checkpoints). Omit to run without the recovery layer.")
+
+let make_fault_config drop dup delay crash_specs checkpoint_every fault_seed unreliable =
+  let ( let* ) = Result.bind in
+  let* crashes =
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* c = parse_crash spec in
+        Ok (c :: acc))
+      (Ok []) crash_specs
+  in
+  let* recovery =
+    if checkpoint_every < -1 then Error "--checkpoint-every must be >= 0"
+    else if checkpoint_every < 0 then Ok None
+    else Ok (Some { Repro_congest.Recovery.checkpoint_every })
+  in
+  if drop = 0.0 && dup = 0.0 && delay = 0 && crashes = [] then
+    Ok { faults = None; reliable = false; recovery }
   else
-    match Fault.profile ~drop ~duplicate:dup ~max_delay:delay () with
+    match Fault.profile ~drop ~duplicate:dup ~max_delay:delay ~crashes:(List.rev crashes) () with
     | profile ->
         Ok
           {
             faults = Some (Fault.create ~seed:fault_seed profile);
             reliable = not unreliable;
+            recovery;
           }
     | exception Invalid_argument msg -> Error msg
 
 let fault_config_t =
   Term.term_result' ~usage:true
-    Term.(const make_fault_config $ drop_t $ dup_t $ delay_t $ fault_seed_t $ unreliable_t)
+    Term.(
+      const make_fault_config $ drop_t $ dup_t $ delay_t $ crash_t $ checkpoint_every_t
+      $ fault_seed_t $ unreliable_t)
 
 let print_fault_config fc =
-  match fc.faults with
+  (match fc.faults with
   | None -> ()
   | Some f ->
       Format.printf "%a over %s links@." Fault.pp f
-        (if fc.reliable then "reliable-transport" else "raw")
+        (if fc.reliable then "reliable-transport" else "raw"));
+  match fc.recovery with
+  | None -> ()
+  | Some { Repro_congest.Recovery.checkpoint_every } ->
+      Format.printf "recovery layer on (checkpoint every %d rounds)@." checkpoint_every
 
 let print_metrics m =
   Format.printf "%a@." Metrics.pp m

@@ -16,7 +16,9 @@ open Cmdliner
 let run g source fc =
   Cli_common.print_graph_summary g;
   Cli_common.print_fault_config fc;
-  let faults = fc.Cli_common.faults and reliable = fc.Cli_common.reliable in
+  let faults = fc.Cli_common.faults
+  and reliable = fc.Cli_common.reliable
+  and recovery = fc.Cli_common.recovery in
   let expected = Shortest_path.dijkstra g source in
   let m = Metrics.create () in
   let report = Build.decompose g ~metrics:m in
@@ -37,7 +39,7 @@ let run g source fc =
   in
   Format.printf "ours:@ %a@." Metrics.pp m;
   let mb = Metrics.create () in
-  let bf = Bellman_ford.run ?faults ~reliable g ~source ~metrics:mb in
+  let bf = Bellman_ford.run ?faults ~reliable ?recovery g ~source ~metrics:mb in
   let bf_ok = bf = expected in
   Format.printf "baseline Bellman-Ford: %s, %d rounds@."
     (if bf_ok then "exact" else "MISMATCH")

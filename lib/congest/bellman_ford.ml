@@ -11,7 +11,7 @@ end
 module E = Engine.Make (Word)
 module T = Transport.Make (Word)
 
-let run ?faults ?(reliable = false) g ~source ~metrics =
+let run ?faults ?(reliable = false) ?recovery g ~source ~metrics =
   let n = Digraph.n g in
   let skeleton = Digraph.skeleton g in
   let neighbors = Array.init n (Digraph.neighbors skeleton) in
@@ -49,8 +49,30 @@ let run ?faults ?(reliable = false) g ~source ~metrics =
   in
   let active st = st.pending in
   let states =
-    if reliable then
-      T.run skeleton ?faults ~init ~step ~active ~metrics ~label:"bellman-ford" ()
-    else E.run skeleton ?faults ~init ~step ~active ~metrics ~label:"bellman-ford" ()
+    match recovery with
+    | Some { Recovery.checkpoint_every } ->
+        (* relaxation is idempotent and announcements supersede, so the
+           RECOVERABLE contract holds; a restored node re-floods its
+           checkpointed tentative distance *)
+        let module R = Recovery.Make (struct
+          module Msg = Word
+
+          type st = state
+
+          let init = init
+          let step = step
+          let active = active
+          let snapshot st = [| st.dist |]
+
+          let restore ~node:_ snap =
+            { dist = snap.(0); pending = snap.(0) < Digraph.inf }
+
+          let resync st = if st.dist < Digraph.inf then Some st.dist else None
+        end) in
+        R.run skeleton ?faults ~checkpoint_every ~metrics ~label:"bellman-ford" ()
+    | None ->
+        if reliable then
+          T.run skeleton ?faults ~init ~step ~active ~metrics ~label:"bellman-ford" ()
+        else E.run skeleton ?faults ~init ~step ~active ~metrics ~label:"bellman-ford" ()
   in
   Array.map (fun st -> st.dist) states

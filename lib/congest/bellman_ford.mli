@@ -9,10 +9,13 @@
 
     [faults] injects link/node faults ({!Fault}); [reliable] (default
     false) runs over the acknowledged {!Transport}, restoring exact
-    distances under any drop probability < 1. *)
+    distances under any drop probability < 1; [recovery] additionally
+    runs under the checkpoint/recovery layer ({!Recovery}, implies the
+    transport), keeping distances exact across crash-amnesia restarts. *)
 val run :
   ?faults:Fault.t ->
   ?reliable:bool ->
+  ?recovery:Recovery.config ->
   Repro_graph.Digraph.t ->
   source:int ->
   metrics:Metrics.t ->

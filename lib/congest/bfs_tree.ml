@@ -13,7 +13,7 @@ end
 module E = Engine.Make (Word)
 module T = Transport.Make (Word)
 
-let build ?faults ?(reliable = false) skeleton ~root ~metrics =
+let build ?faults ?(reliable = false) ?recovery skeleton ~root ~metrics =
   let inf = Digraph.inf in
   let n = Digraph.n skeleton in
   let neighbors = Array.init n (Digraph.neighbors skeleton) in
@@ -39,12 +39,35 @@ let build ?faults ?(reliable = false) skeleton ~root ~metrics =
     else (st, [])
   in
   let states =
-    if reliable then
-      T.run skeleton ?faults ~init ~step ~active:(fun st -> st.pending) ~metrics
-        ~label:"bfs-tree" ()
-    else
-      E.run skeleton ?faults ~init ~step ~active:(fun st -> st.pending) ~metrics
-        ~label:"bfs-tree" ()
+    match recovery with
+    | Some { Recovery.checkpoint_every } ->
+        (* crash-amnesia survival: the flood is announcement-monotone, so
+           it satisfies the RECOVERABLE contract — a restored node
+           re-offers its checkpointed distance (pending = true) and
+           neighbors resync theirs *)
+        let module R = Recovery.Make (struct
+          module Msg = Word
+
+          type st = state
+
+          let init = init
+          let step = step
+          let active st = st.pending
+          let snapshot st = [| st.d; st.par |]
+
+          let restore ~node:_ snap =
+            { d = snap.(0); par = snap.(1); pending = snap.(0) < inf }
+
+          let resync st = if st.d < inf then Some st.d else None
+        end) in
+        R.run skeleton ?faults ~checkpoint_every ~metrics ~label:"bfs-tree" ()
+    | None ->
+        if reliable then
+          T.run skeleton ?faults ~init ~step ~active:(fun st -> st.pending) ~metrics
+            ~label:"bfs-tree" ()
+        else
+          E.run skeleton ?faults ~init ~step ~active:(fun st -> st.pending) ~metrics
+            ~label:"bfs-tree" ()
   in
   let parent = Array.map (fun st -> st.par) states in
   let dist = Array.map (fun st -> st.d) states in

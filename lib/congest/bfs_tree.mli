@@ -17,10 +17,13 @@ type tree = {
     [faults] injects link/node faults ({!Fault}); [reliable] (default
     false) runs the same step function over the acknowledged
     {!Transport} instead of raw links, restoring exact distances under
-    any drop probability < 1. *)
+    any drop probability < 1; [recovery] additionally runs it under the
+    checkpoint/recovery layer ({!Recovery}, implies the transport), so
+    distances stay exact even across crash-amnesia restarts. *)
 val build :
   ?faults:Fault.t ->
   ?reliable:bool ->
+  ?recovery:Recovery.config ->
   Repro_graph.Digraph.t ->
   root:int ->
   metrics:Metrics.t ->

@@ -16,7 +16,7 @@ let run_via ~reliable ?faults skeleton ~init ~step ~active ~metrics ~label =
 
 type flood_state = { value : int option; pending : bool }
 
-let flood ?faults ?(reliable = false) skeleton ~root ~value ~metrics =
+let flood ?faults ?(reliable = false) ?recovery skeleton ~root ~value ~metrics =
   let n = Digraph.n skeleton in
   let neighbors = Array.init n (Digraph.neighbors skeleton) in
   let step ~round:_ ~node st inbox =
@@ -32,14 +32,33 @@ let flood ?faults ?(reliable = false) skeleton ~root ~value ~metrics =
         | None -> [] )
     else (st, [])
   in
+  let init v =
+    if v = root then { value = Some value; pending = true }
+    else { value = None; pending = false }
+  in
+  let active st = st.pending in
   let states =
-    run_via ~reliable ?faults skeleton
-      ~init:(fun v ->
-        if v = root then { value = Some value; pending = true }
-        else { value = None; pending = false })
-      ~step
-      ~active:(fun st -> st.pending)
-      ~metrics ~label:"flood"
+    match recovery with
+    | Some { Recovery.checkpoint_every } ->
+        (* value-once flooding is trivially announcement-monotone *)
+        let module R = Recovery.Make (struct
+          module Msg = Word
+
+          type st = flood_state
+
+          let init = init
+          let step = step
+          let active = active
+          let snapshot st = match st.value with Some v -> [| 1; v |] | None -> [| 0 |]
+
+          let restore ~node:_ snap =
+            if snap.(0) = 1 then { value = Some snap.(1); pending = true }
+            else { value = None; pending = false }
+
+          let resync st = st.value
+        end) in
+        R.run skeleton ?faults ~checkpoint_every ~metrics ~label:"flood" ()
+    | None -> run_via ~reliable ?faults skeleton ~init ~step ~active ~metrics ~label:"flood"
   in
   Array.map (fun st -> match st.value with Some v -> v | None -> Digraph.inf) states
 

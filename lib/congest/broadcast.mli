@@ -7,10 +7,14 @@
     function over the acknowledged {!Transport} instead of raw links. *)
 
 (** [flood skeleton ~root ~value ~metrics] floods a one-word [value];
-    returns what every node learned. O(D) rounds, label ["flood"]. *)
+    returns what every node learned. O(D) rounds, label ["flood"].
+    [recovery] runs it under the checkpoint/recovery layer ({!Recovery},
+    implies the transport), so the flood completes exactly even across
+    crash-amnesia restarts. *)
 val flood :
   ?faults:Fault.t ->
   ?reliable:bool ->
+  ?recovery:Recovery.config ->
   Repro_graph.Digraph.t ->
   root:int ->
   value:int ->

@@ -30,8 +30,8 @@ module Make (M : MSG) = struct
   type inbox = (int * M.t) list
   type outbox = (int * M.t) list
 
-  let run skeleton ~init ~step ~active ?faults ?audit ?(max_rounds = 10_000_000)
-      ?(max_words = default_max_words) ~metrics ~label () =
+  let run skeleton ~init ~step ~active ?faults ?on_restart ?audit
+      ?(max_rounds = 10_000_000) ?(max_words = default_max_words) ~metrics ~label () =
     if Digraph.directed skeleton then
       invalid_arg "Engine.run: communication network must be undirected";
     let audit = match audit with Some b -> b | None -> !audit_enabled in
@@ -45,6 +45,15 @@ module Make (M : MSG) = struct
     let states = Array.init n init in
     let inboxes = Array.make n [] in
     let round = ref 0 in
+    (* crash-amnesia restart: the node boots with no volatile memory, so
+       its state is rebuilt from scratch — by default via [init], or via
+       the [on_restart] hook so layered protocols (transport epochs,
+       checkpoint recovery) can reconstruct themselves instead *)
+    let restart_state =
+      match on_restart with
+      | Some f -> f
+      | None -> fun ~round:_ ~node -> init node
+    in
     let in_flight = ref false in
     (* copies held back by a delay fault:
        (deliver_round, dst, src, msg, words measured at send) *)
@@ -65,6 +74,12 @@ module Make (M : MSG) = struct
     in
     let continue () =
       !in_flight || !delayed <> []
+      (* an in-progress amnesia outage keeps the run alive so the
+         scheduled restart (and any recovery it triggers) executes
+         instead of quiescing with the node's fate unresolved *)
+      || (match faults with
+         | Some f -> Fault.amnesia_in_progress f ~round:!round
+         | None -> false)
       || (let v = ref 0 and found = ref false in
           while (not !found) && !v < n do
             if live_active !v then found := true;
@@ -128,6 +143,13 @@ module Make (M : MSG) = struct
         raise
           (Round_limit_exceeded
              { label; rounds = !round; active_nodes = count_active () });
+      (match faults with
+      | Some f ->
+          for v = 0 to n - 1 do
+            if Fault.restarted f ~round:!round v then
+              states.(v) <- restart_state ~round:!round ~node:v
+          done
+      | None -> ());
       let next_inboxes = Array.make n [] in
       let sent_this_round = ref 0 in
       let words_this_round = ref 0 in

@@ -79,10 +79,19 @@ module Make (M : MSG) : sig
         received nothing (e.g. it still has queued sends).
       - [faults], when given, is applied between outbox collection and
         inbox delivery: dropped and duplicated copies are charged to
-        [metrics]; a crashed node neither steps (state frozen) nor sends,
-        and messages addressed to it at delivery time are dropped.
-        Crash-stop nodes are excluded from the liveness check so they
-        cannot livelock the run.
+        [metrics]; a crashed node neither steps nor sends, and messages
+        addressed to it at delivery time are dropped. Crash-stop nodes
+        are excluded from the liveness check so they cannot livelock the
+        run. A [Freeze] crash-restart resumes with the pre-crash state; an
+        [Amnesia] crash-restart loses all volatile state: at the restart
+        round the engine rebuilds the node's state via [on_restart]
+        (messages already delivered into the restart round's inbox are
+        kept — they arrive after the reboot). Executions are kept alive
+        while an amnesia outage is in progress so the restart runs.
+      - [on_restart ~round ~node], when given, replaces [init] for
+        rebuilding the state of an amnesia-restarted node (default:
+        re-run [init]). Layered protocols use it to bump connection
+        epochs ({!Transport}) or reload checkpoints ({!Recovery}).
       - [audit], when true (default: {!audit_enabled}), cross-checks the
         conservation invariants documented on {!Audit_violation} at the
         end of every round.
@@ -100,6 +109,7 @@ module Make (M : MSG) : sig
     step:(round:int -> node:int -> 'st -> inbox -> 'st * outbox) ->
     active:('st -> bool) ->
     ?faults:Fault.t ->
+    ?on_restart:(round:int -> node:int -> 'st) ->
     ?audit:bool ->
     ?max_rounds:int ->
     ?max_words:int ->

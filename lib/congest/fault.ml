@@ -1,4 +1,6 @@
-type crash = { node : int; from_round : int; until_round : int option }
+type mode = Freeze | Amnesia
+
+type crash = { node : int; from_round : int; until_round : int option; mode : mode }
 
 type profile = {
   drop : float;
@@ -8,6 +10,9 @@ type profile = {
 }
 
 let reliable = { drop = 0.0; duplicate = 0.0; max_delay = 0; crashes = [] }
+
+let crash ?until ?(mode = Freeze) ~from node =
+  { node; from_round = from; until_round = until; mode }
 
 let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(crashes = []) () =
   let check_prob name p =
@@ -20,9 +25,13 @@ let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(crashes = []) ()
   List.iter
     (fun c ->
       if c.from_round < 0 then invalid_arg "Fault.profile: negative crash round";
-      match c.until_round with
-      | Some u when u <= c.from_round ->
+      match (c.until_round, c.mode) with
+      | Some u, _ when u <= c.from_round ->
           invalid_arg "Fault.profile: crash window ends before it starts"
+      | None, Amnesia ->
+          invalid_arg
+            "Fault.profile: an amnesia crash never restarts (use a Freeze crash-stop, \
+             or give it an until_round)"
       | _ -> ())
     crashes;
   { drop; duplicate; max_delay; crashes }
@@ -56,6 +65,26 @@ let crash_stopped t ~round v =
     (fun c -> c.node = v && c.until_round = None && round >= c.from_round)
     t.p.crashes
 
+let restarted t ~round v =
+  (not (crashed t ~round v))
+  && List.exists
+       (fun c -> c.node = v && c.mode = Amnesia && c.until_round = Some round)
+       t.p.crashes
+
+(* the window is "in progress" through the restart round itself ([<= u]):
+   the restart is applied at round [u], so the run must still be alive
+   then for the node to come back at all *)
+let amnesia_in_progress t ~round =
+  List.exists
+    (fun c ->
+      c.mode = Amnesia
+      && round >= c.from_round
+      && match c.until_round with Some u -> round <= u | None -> false)
+    t.p.crashes
+
 let pp fmt t =
-  Format.fprintf fmt "faults(seed=%d drop=%g dup=%g delay<=%d crashes=%d)" t.seed t.p.drop
-    t.p.duplicate t.p.max_delay (List.length t.p.crashes)
+  let amnesia = List.length (List.filter (fun c -> c.mode = Amnesia) t.p.crashes) in
+  Format.fprintf fmt "faults(seed=%d drop=%g dup=%g delay<=%d crashes=%d amnesia=%d)" t.seed
+    t.p.drop t.p.duplicate t.p.max_delay
+    (List.length t.p.crashes)
+    amnesia

@@ -18,10 +18,20 @@
       [0..max_delay] (delays of distinct copies are independent, so a
       duplicated message can be reordered against later traffic);
     - [crashes]: per-node round windows during which the node neither
-      steps, sends, nor receives (its state is frozen; messages addressed
-      to it are dropped). A window with [until_round = None] is
-      crash-stop; with [Some r] the node restarts at round [r]
-      (crash-restart). *)
+      steps, sends, nor receives; messages addressed to it are dropped.
+      A window with [until_round = None] is crash-stop; with [Some r] the
+      node restarts at round [r] (crash-restart). What the node restarts
+      {e with} is the window's {!mode}: [Freeze] resumes with the exact
+      pre-crash state (the unrealistically kind model of PR 1); [Amnesia]
+      loses all volatile state — the engine re-runs [init] (or the
+      [on_restart] hook, see {!Engine.Make.run}) at the restart round,
+      which is how real processes come back. Layer {!Recovery} on top to
+      survive amnesia with oracle-exact outputs. *)
+
+(** What a crash-restart node remembers when it comes back up. *)
+type mode =
+  | Freeze  (** pre-crash state preserved verbatim (PR-1 semantics). *)
+  | Amnesia  (** volatile state lost; [init]/[on_restart] re-runs. *)
 
 type crash = {
   node : int;
@@ -29,7 +39,15 @@ type crash = {
   until_round : int option;
       (** [None] = crash-stop (never restarts); [Some r] = the node is up
           again from round [r] on. *)
+  mode : mode;
+      (** restart semantics; irrelevant for crash-stop windows (and
+          [Amnesia] with [until_round = None] is rejected — an amnesia
+          crash that never restarts is just crash-stop). *)
 }
+
+(** [crash ~from ?until ?mode node] builds a crash window; [mode]
+    defaults to [Freeze]. *)
+val crash : ?until:int -> ?mode:mode -> from:int -> int -> crash
 
 type profile = {
   drop : float;  (** per-copy loss probability, in [0, 1). *)
@@ -71,5 +89,21 @@ val crashed : t -> round:int -> int -> bool
     restart? The engine excludes such nodes from its liveness check so
     crash-stop schedules cannot livelock an execution. *)
 val crash_stopped : t -> round:int -> int -> bool
+
+(** [restarted t ~round v] — does [v] come back up at exactly [round]
+    from an [Amnesia] window (and is not covered by another crash window
+    at [round])? The engine resets such a node's state at the start of
+    that round. Freeze windows never report here: their restart is
+    state-preserving and needs no engine action. *)
+val restarted : t -> round:int -> int -> bool
+
+(** [amnesia_in_progress t ~round] — is some node inside an [Amnesia]
+    window (down now, or restarting exactly this round)? The engine keeps
+    the execution alive through such outages — up to and including the
+    restart round — so the scheduled restart, and any recovery protocol
+    it triggers, actually runs instead of the run quiescing with the
+    node's fate unresolved. (A window whose [from_round] is never reached
+    because the run ended earlier is a no-op.) *)
+val amnesia_in_progress : t -> round:int -> bool
 
 val pp : Format.formatter -> t -> unit

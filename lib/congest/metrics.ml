@@ -6,6 +6,10 @@ type t = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable retransmissions : int;
+  mutable checkpoints : int;
+  mutable checkpoint_words : int;
+  mutable recoveries : int;
+  mutable resync_rounds : int;
   per_label : (string, int ref) Hashtbl.t;
 }
 
@@ -18,6 +22,10 @@ let create () =
     dropped = 0;
     duplicated = 0;
     retransmissions = 0;
+    checkpoints = 0;
+    checkpoint_words = 0;
+    recoveries = 0;
+    resync_rounds = 0;
     per_label = Hashtbl.create 16;
   }
 
@@ -34,6 +42,10 @@ let add_delivered t k = t.delivered <- t.delivered + k
 let add_dropped t k = t.dropped <- t.dropped + k
 let add_duplicated t k = t.duplicated <- t.duplicated + k
 let add_retransmissions t k = t.retransmissions <- t.retransmissions + k
+let add_checkpoints t k = t.checkpoints <- t.checkpoints + k
+let add_checkpoint_words t k = t.checkpoint_words <- t.checkpoint_words + k
+let add_recoveries t k = t.recoveries <- t.recoveries + k
+let add_resync_rounds t k = t.resync_rounds <- t.resync_rounds + k
 let rounds t = t.rounds
 let messages t = t.messages
 let words t = t.words
@@ -41,6 +53,10 @@ let delivered t = t.delivered
 let dropped t = t.dropped
 let duplicated t = t.duplicated
 let retransmissions t = t.retransmissions
+let checkpoints t = t.checkpoints
+let checkpoint_words t = t.checkpoint_words
+let recoveries t = t.recoveries
+let resync_rounds t = t.resync_rounds
 
 let breakdown t =
   (* the fold order is irrelevant: the list is sorted before returning
@@ -55,6 +71,10 @@ let merge ~into src =
   into.dropped <- into.dropped + src.dropped;
   into.duplicated <- into.duplicated + src.duplicated;
   into.retransmissions <- into.retransmissions + src.retransmissions;
+  into.checkpoints <- into.checkpoints + src.checkpoints;
+  into.checkpoint_words <- into.checkpoint_words + src.checkpoint_words;
+  into.recoveries <- into.recoveries + src.recoveries;
+  into.resync_rounds <- into.resync_rounds + src.resync_rounds;
   (* per-label addition is commutative, iteration order does not matter
      [lint: hashtbl-order] *)
   Hashtbl.iter (fun label r -> add into ~label !r) src.per_label
@@ -65,5 +85,8 @@ let pp fmt t =
   if t.dropped > 0 || t.duplicated > 0 || t.retransmissions > 0 then
     Format.fprintf fmt " delivered=%d dropped=%d duplicated=%d retransmissions=%d" t.delivered
       t.dropped t.duplicated t.retransmissions;
+  if t.checkpoints > 0 || t.recoveries > 0 then
+    Format.fprintf fmt " checkpoints=%d checkpoint_words=%d recoveries=%d resync_rounds=%d"
+      t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds;
   List.iter (fun (l, r) -> Format.fprintf fmt "@,  %-24s %d" l r) (breakdown t);
   Format.fprintf fmt "@]"

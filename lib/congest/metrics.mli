@@ -39,6 +39,27 @@ val add_duplicated : t -> int -> unit
     reliable transport layer ({!Transport}). *)
 val add_retransmissions : t -> int -> unit
 
+(** [add_checkpoints t k] records [k] checkpoints written to simulated
+    per-node stable storage by a {!Recovery} layer. Checkpoints cost no
+    network traffic — they are charged separately from [messages]/[words]
+    so the engine's traffic-conservation audit is undisturbed. *)
+val add_checkpoints : t -> int -> unit
+
+(** [add_checkpoint_words t k] records [k] machine words of serialized
+    state written across checkpoints (the storage-bandwidth analogue of
+    [add_words]). *)
+val add_checkpoint_words : t -> int -> unit
+
+(** [add_recoveries t k] records [k] crash-amnesia restarts that reloaded
+    state from stable storage (or re-ran [init] when no checkpoint
+    existed). *)
+val add_recoveries : t -> int -> unit
+
+(** [add_resync_rounds t k] records [k] node-rounds spent between a
+    restart and having heard back from every neighbor of the restarted
+    node (the HELLO/RESYNC handshake window). *)
+val add_resync_rounds : t -> int -> unit
+
 val rounds : t -> int
 val messages : t -> int
 val words : t -> int
@@ -46,6 +67,10 @@ val delivered : t -> int
 val dropped : t -> int
 val duplicated : t -> int
 val retransmissions : t -> int
+val checkpoints : t -> int
+val checkpoint_words : t -> int
+val recoveries : t -> int
+val resync_rounds : t -> int
 
 (** [breakdown t] lists [(label, rounds)] aggregated per label,
     sorted by decreasing rounds. *)

@@ -4,12 +4,19 @@ module Make (M : Engine.MSG) = struct
   type inbox = (int * M.t) list
   type outbox = (int * M.t) list
 
-  (* One packet per link per round, carrying at most one data payload
-     (with its sequence number) and at most one piggybacked ack. *)
+  (* One packet per link per round, carrying the sender's connection
+     epoch, at most one data payload (with its sequence number) and at
+     most one piggybacked ack (echoing the data-sender's epoch, so a
+     restarted sender cannot be fooled by an ack for a pre-crash
+     sequence number). Header cost: 1 word for the epoch, 1 word per
+     sequence number carried (data seq / ack echo+seq count as 1 and 2). *)
   module Packet = struct
-    type t = { data : (int * M.t) option; ack : int option }
+    type t = { epoch : int; data : (int * M.t) option; ack : (int * int) option }
 
-    let words p = 1 + (match p.data with Some (_, m) -> M.words m | None -> 0)
+    let words p =
+      1
+      + (match p.data with Some (_, m) -> 1 + M.words m | None -> 0)
+      + match p.ack with Some _ -> 2 | None -> 0
   end
 
   module E = Engine.Make (Packet)
@@ -20,58 +27,91 @@ module Make (M : Engine.MSG) = struct
     mutable outstanding : (int * M.t) option;  (* launched, unacked *)
     mutable retry_round : int;
     mutable backoff : int;  (* retransmission count for this message *)
-    ackq : int Queue.t;  (* acks owed to the peer *)
-    received : (int, unit) Hashtbl.t;  (* seqs already delivered to step *)
+    ackq : (int * int) Queue.t;  (* (peer epoch, seq) acks owed to the peer *)
+    (* stop-and-wait delivers in order, so a single delivered-seq
+       watermark replaces the old unbounded per-link dedup hashtable:
+       a data seq is fresh iff it exceeds the watermark (O(1) memory
+       per link under any dup/delay profile) *)
+    mutable watermark : int;
+    mutable peer_epoch : int;  (* largest connection epoch seen from the peer *)
   }
 
   (* [nbrs] is the sorted neighbor list: per-round link iteration walks it
      instead of the [links] hashtable so packet launch order (and with it
      the fault adversary's RNG consumption) is deterministic. *)
-  type 'st node = { user : 'st; links : (int, link) Hashtbl.t; nbrs : int array }
+  type 'st node = {
+    user : 'st;
+    my_epoch : int;  (* bumped to the restart round on every amnesia reboot *)
+    links : (int, link) Hashtbl.t;
+    nbrs : int array;
+  }
 
-  let run skeleton ~init ~step ~active ?faults ?(rto = 4)
+  let fresh_link () =
+    {
+      next_seq = 0;
+      sendq = Queue.create ();
+      outstanding = None;
+      retry_round = 0;
+      backoff = 0;
+      ackq = Queue.create ();
+      watermark = -1;
+      peer_epoch = 0;
+    }
+
+  let run skeleton ~init ~step ~active ?faults ?on_restart ?(rto = 4)
       ?max_rounds ?(max_words = Engine.default_max_words) ~metrics ~label () =
     if rto <= 2 then invalid_arg "Transport.run: rto must exceed the 2-round ack latency";
-    let wrap_init v =
+    let fresh_node ~epoch v user =
       let nbrs = Digraph.neighbors skeleton v in
       let links = Hashtbl.create 8 in
-      Array.iter
-        (fun u ->
-          Hashtbl.replace links u
-            {
-              next_seq = 0;
-              sendq = Queue.create ();
-              outstanding = None;
-              retry_round = 0;
-              backoff = 0;
-              ackq = Queue.create ();
-              received = Hashtbl.create 16;
-            })
-        nbrs;
-      { user = init v; links; nbrs }
+      Array.iter (fun u -> Hashtbl.replace links u (fresh_link ())) nbrs;
+      { user; my_epoch = epoch; links; nbrs }
+    in
+    let wrap_init v = fresh_node ~epoch:0 v (init v) in
+    (* amnesia restart: all link state is volatile and lost; the engine
+       round (strictly increasing across a node's restarts, and > the
+       initial epoch 0) becomes the new connection epoch, so both
+       endpoints reset their sequence/dedup state instead of silently
+       misinterpreting stale sequence numbers *)
+    let restart_user =
+      match on_restart with Some f -> f | None -> fun ~round:_ ~node -> init node
+    in
+    let wrap_restart ~round ~node =
+      fresh_node ~epoch:round node (restart_user ~round ~node)
     in
     let wrap_step ~round ~node:v st inbox =
-      (* 1. absorb packets: clear acked messages, ack and dedup data *)
+      (* 1. absorb packets: track peer epochs, clear acked messages, ack
+         and dedup data. A packet from an epoch older than the peer's
+         known one predates the peer's last restart: ignore it entirely. *)
       let fresh = ref [] in
       List.iter
         (fun (u, p) ->
           let l = Hashtbl.find st.links u in
-          (match p.Packet.ack with
-          | Some s -> (
-              match l.outstanding with
-              | Some (s', _) when s' = s ->
-                  l.outstanding <- None;
-                  l.backoff <- 0
-              | _ -> ())
-          | None -> ());
-          match p.Packet.data with
-          | Some (s, payload) ->
-              Queue.add s l.ackq;
-              if not (Hashtbl.mem l.received s) then begin
-                Hashtbl.add l.received s ();
-                fresh := (u, payload) :: !fresh
-              end
-          | None -> ())
+          if p.Packet.epoch >= l.peer_epoch then begin
+            if p.Packet.epoch > l.peer_epoch then begin
+              (* the peer restarted: its sequence space starts over, and
+                 whatever we had delivered from the old connection is
+                 void — reset the receive watermark *)
+              l.peer_epoch <- p.Packet.epoch;
+              l.watermark <- -1
+            end;
+            (match p.Packet.ack with
+            | Some (e, s) when e = st.my_epoch -> (
+                match l.outstanding with
+                | Some (s', _) when s' = s ->
+                    l.outstanding <- None;
+                    l.backoff <- 0
+                | _ -> ())
+            | _ -> ());
+            match p.Packet.data with
+            | Some (s, payload) ->
+                Queue.add (p.Packet.epoch, s) l.ackq;
+                if s > l.watermark then begin
+                  l.watermark <- s;
+                  fresh := (u, payload) :: !fresh
+                end
+            | None -> ()
+          end)
         inbox;
       (* 2. run the user's step on the deduplicated, sender-sorted inbox *)
       let user_inbox = List.sort (fun (a, _) (b, _) -> Int.compare a b) !fresh in
@@ -120,7 +160,8 @@ module Make (M : Engine.MSG) = struct
                 end
           in
           let ack = if Queue.is_empty l.ackq then None else Some (Queue.pop l.ackq) in
-          if data <> None || ack <> None then out := (u, { Packet.data; ack }) :: !out)
+          if data <> None || ack <> None then
+            out := (u, { Packet.epoch = st.my_epoch; data; ack }) :: !out)
         st.nbrs;
       ({ st with user }, !out)
     in
@@ -135,8 +176,9 @@ module Make (M : Engine.MSG) = struct
            st.links false
     in
     let states =
-      E.run skeleton ?faults ~init:wrap_init ~step:wrap_step ~active:wrap_active ?max_rounds
-        ~max_words:(max_words + 1) ~metrics ~label ()
+      E.run skeleton ?faults ~init:wrap_init ~step:wrap_step ~active:wrap_active
+        ~on_restart:wrap_restart ?max_rounds
+        ~max_words:(max_words + 4) ~metrics ~label ()
     in
     Array.map (fun st -> st.user) states
 end

@@ -1,24 +1,45 @@
 (** Reliable transport over faulty CONGEST links.
 
     Layers per-link acknowledgements, round-based retransmission timeouts
-    with exponential backoff, and sequence-number deduplication on top of
-    the (possibly fault-injected) {!Engine}, exposing the same
-    step-function interface — existing algorithms run unchanged over it.
+    with exponential backoff, sequence-number deduplication, and per-link
+    {e connection epochs} on top of the (possibly fault-injected)
+    {!Engine}, exposing the same step-function interface — existing
+    algorithms run unchanged over it.
 
     Guarantees, for any {!Fault.t} profile with drop probability < 1 and
-    no crash-stop nodes: every message handed to the transport is
-    delivered to its destination's [step] function exactly once, and
-    per-link FIFO order is preserved (each link is stop-and-wait: message
-    [k+1] is not launched until [k] is acknowledged). Round numbers seen
-    by [step] are engine rounds, not per-node logical times.
+    no crash-stop nodes: between two endpoints that do not lose state,
+    every message handed to the transport is delivered to its
+    destination's [step] function exactly once, and per-link FIFO order
+    is preserved (each link is stop-and-wait: message [k+1] is not
+    launched until [k] is acknowledged). Round numbers seen by [step]
+    are engine rounds, not per-node logical times.
 
-    Cost: each payload word rides in a packet with a one-word header
-    (sequence number or ack id), so the inner engine runs with
-    [max_words + 1]; a fault-free message costs ~2 rounds of link latency
-    (data, then ack unblocks the next send). Retransmissions are charged
-    to {!Metrics.add_retransmissions}. Crash-stop nodes are out of scope:
-    a retransmitter has no failure detector, so a send to a dead node
-    retries until [max_rounds] (then {!Engine.Round_limit_exceeded}). *)
+    {b Crash-amnesia safety.} Every packet carries its sender's
+    connection epoch; an amnesia-restarted node (whose transport state is
+    volatile and lost) comes back with its epoch bumped to the restart
+    round. A peer seeing a higher epoch resets its receive watermark for
+    that link, and acks echo the data-sender's epoch, so stale sequence
+    numbers from the pre-crash connection can neither suppress fresh data
+    (dedup-drop) nor acknowledge data the restarted node never received.
+    Across an amnesia restart the guarantee necessarily weakens to
+    {e at-least-once}: copies delivered before the crash may be delivered
+    again after the rollback, and messages queued in the crashed node's
+    volatile send buffers are lost — {!Recovery} restores exactness at
+    the algorithm level (checkpoints + neighbor resync) for programs that
+    tolerate re-delivery.
+
+    Cost: a packet spends 1 header word on the epoch, 1 on a data
+    sequence number, and 2 on a piggybacked ack (echoed epoch + seq), so
+    the inner engine runs with [max_words + 4]; a fault-free message
+    costs ~2 rounds of link latency (data, then ack unblocks the next
+    send). Retransmissions are charged to
+    {!Metrics.add_retransmissions}. Crash-stop nodes are out of scope: a
+    retransmitter has no failure detector, so a send to a dead node
+    retries until [max_rounds] (then {!Engine.Round_limit_exceeded}).
+
+    Per-link memory is O(1): stop-and-wait delivers in order, so received
+    sequences are deduplicated against a single delivered-seq watermark
+    (not a table of every seq ever seen), under any dup/delay profile. *)
 
 module Make (M : Engine.MSG) : sig
   type inbox = (int * M.t) list
@@ -30,6 +51,10 @@ module Make (M : Engine.MSG) : sig
       transport queues drain), plus:
 
       - [faults] — adversary applied to the underlying links;
+      - [on_restart ~round ~node] — rebuilds the {e user} state of an
+        amnesia-restarted node (default: re-run [init]); the transport
+        rebuilds its own link state (fresh queues, epoch = restart round)
+        around it;
       - [rto] — initial retransmission timeout in rounds (doubles on each
         retry, capped at [64 * rto]). Must exceed the 2-round fault-free
         ack latency; default 4. *)
@@ -39,6 +64,7 @@ module Make (M : Engine.MSG) : sig
     step:(round:int -> node:int -> 'st -> inbox -> 'st * outbox) ->
     active:('st -> bool) ->
     ?faults:Fault.t ->
+    ?on_restart:(round:int -> node:int -> 'st) ->
     ?rto:int ->
     ?max_rounds:int ->
     ?max_words:int ->
