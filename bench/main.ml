@@ -736,12 +736,67 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* EObs: trace-layer cost — zero when disabled (Bechamel) *)
+
+let eobs () =
+  header "EObs: trace-layer overhead (Bechamel)"
+    "with the null sink the guarded emit path allocates zero words and costs ~1 ns \
+     per site; a full engine run with tracing off matches the untraced engine";
+  let open Bechamel in
+  let module Sink = Repro_obs.Sink in
+  let module Recorder = Repro_obs.Recorder in
+  (* the exact pattern every engine emit site compiles to: test the
+     [enabled] flag, only then build the event. With the null sink the
+     event constructor must never run, so the loop is allocation-free. *)
+  let emit_loop sink =
+    Staged.stage (fun () ->
+        let tracing = sink.Sink.enabled in
+        for i = 0 to 999 do
+          if tracing then
+            Sink.emit sink (Repro_obs.Event.Send { round = i; src = 0; dst = 1; words = 2 })
+        done)
+  in
+  let recorder = Recorder.create ~capacity:(1 lsl 16) () in
+  let tests =
+    [
+      Test.make ~name:"1000 emit sites, sink disabled" (emit_loop Sink.null);
+      Test.make ~name:"1000 emit sites, recording" (emit_loop (Recorder.sink recorder));
+      Test.make ~name:"bfs n=200 k-tree, tracing off"
+        (Staged.stage (fun () ->
+             let g = Generators.k_tree ~seed:21 200 3 in
+             let m = Metrics.create () in
+             ignore (Bfs_tree.build g ~root:0 ~metrics:m)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  List.iter
+    (fun (unit_name, instance) ->
+      List.iter
+        (fun test ->
+          let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+          Hashtbl.iter
+            (fun name raw ->
+              let ols =
+                Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+              in
+              let est = Analyze.one ols instance raw in
+              match Analyze.OLS.estimates est with
+              | Some [ t ] -> Printf.printf "   %-36s %12.1f %s/run\n" name t unit_name
+              | _ -> Printf.printf "   %-36s (no estimate)\n" name)
+            results)
+        tests)
+    [
+      ("ns", Toolkit.Instance.monotonic_clock);
+      ("mw", Toolkit.Instance.minor_allocated);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2a", e2a); ("E2b", e2b); ("E3", e3); ("E4", e4);
     ("E5a", e5a); ("E5b", e5b); ("E6a", e6a); ("E6b", e6b); ("E6c", e6c); ("E6d", e6d);
-    ("E7", e7); ("E8", e8); ("EF1", ef1); ("EF2", ef2); ("micro", micro);
+    ("E7", e7); ("E8", e8); ("EF1", ef1); ("EF2", ef2); ("EObs", eobs); ("micro", micro);
   ]
 
 let () =

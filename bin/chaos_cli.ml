@@ -37,14 +37,17 @@ let profiles =
         () );
   ]
 
-let run seeds checkpoint_every =
+let run seeds checkpoint_every obs =
+  Cli_common.setup_obs obs;
   Engine.audit_enabled := true;
   let failures = ref 0 in
+  let total = Metrics.create () in
   let case ~graph ~profile_name ~seed label ok m =
     Format.printf "%-14s %-16s seed=%-3d %-12s %s (%d rounds, %d recoveries)@."
       graph profile_name seed label
       (if ok then "exact" else "MISMATCH")
       (Metrics.rounds m) (Metrics.recoveries m);
+    Metrics.merge ~into:total m;
     if not ok then incr failures
   in
   let recovery = { Recovery.checkpoint_every } in
@@ -77,7 +80,8 @@ let run seeds checkpoint_every =
     Format.printf "%d chaos case(s) FAILED@." !failures;
     exit 1
   end;
-  Format.printf "all chaos cases exact (audit on)@."
+  Format.printf "all chaos cases exact (audit on)@.";
+  Cli_common.metrics_json obs ~name:"chaos-total" total
 
 let seeds_t =
   Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Fault seeds per profile.")
@@ -90,6 +94,6 @@ let checkpoint_every_t =
 let cmd =
   Cmd.v
     (Cmd.info "chaos_cli" ~doc:"Fault-profile sweep with oracle checks (CI chaos smoke)")
-    Term.(const run $ seeds_t $ checkpoint_every_t)
+    Term.(const run $ seeds_t $ checkpoint_every_t $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,9 +1,13 @@
-(* Shared cmdliner terms: graph family selection and metrics printing. *)
+(* Shared cmdliner terms: graph family selection, fault injection,
+   observability (tracing/replay) and metrics printing. *)
 
 module Digraph = Repro_graph.Digraph
 module Generators = Repro_graph.Generators
 module Metrics = Repro_congest.Metrics
 module Fault = Repro_congest.Fault
+module Recorder = Repro_obs.Recorder
+module Trace_io = Repro_obs.Trace_io
+module Replay = Repro_obs.Replay
 open Cmdliner
 
 type family =
@@ -191,7 +195,44 @@ let checkpoint_every_t =
            simulated stable storage every N rounds (0 = recovery handshake \
            only, no checkpoints). Omit to run without the recovery layer.")
 
-let make_fault_config drop dup delay crash_specs checkpoint_every fault_seed unreliable =
+let replay_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Replay the delivery schedule recorded in the --trace FILE instead of \
+           rolling a random adversary: per-message fates and crash windows are \
+           taken from the trace, so the recorded run is reproduced exactly \
+           (--drop/--dup/--delay/--fault-seed are ignored; keep the other flags \
+           identical to the recorded invocation).")
+
+(* Rebuild a scripted adversary from a recorded trace. A trace whose
+   runs were all fault-free replays as a plain deterministic run. *)
+let load_replay path unreliable recovery =
+  match Trace_io.read_jsonl ~path with
+  | exception Repro_obs.Event.Parse_error msg -> Error ("--replay: " ^ msg)
+  | exception Sys_error msg -> Error ("--replay: " ^ msg)
+  | events ->
+      let r = Replay.of_events events in
+      if Replay.runs r = 0 then Ok { faults = None; reliable = false; recovery }
+      else
+        let crashes =
+          List.map
+            (fun (w : Replay.crash_window) ->
+              Fault.crash w.node ~from:w.from_round ?until:w.until_round
+                ~mode:(if w.amnesia then Fault.Amnesia else Fault.Freeze))
+            (Replay.crashes r)
+        in
+        Ok
+          {
+            faults = Some (Fault.scripted ~crashes (Replay.plan r));
+            reliable = not unreliable;
+            recovery;
+          }
+
+let make_fault_config replay drop dup delay crash_specs checkpoint_every fault_seed
+    unreliable =
   let ( let* ) = Result.bind in
   let* crashes =
     List.fold_left
@@ -206,24 +247,29 @@ let make_fault_config drop dup delay crash_specs checkpoint_every fault_seed unr
     else if checkpoint_every < 0 then Ok None
     else Ok (Some { Repro_congest.Recovery.checkpoint_every })
   in
-  if drop = 0.0 && dup = 0.0 && delay = 0 && crashes = [] then
-    Ok { faults = None; reliable = false; recovery }
-  else
-    match Fault.profile ~drop ~duplicate:dup ~max_delay:delay ~crashes:(List.rev crashes) () with
-    | profile ->
-        Ok
-          {
-            faults = Some (Fault.create ~seed:fault_seed profile);
-            reliable = not unreliable;
-            recovery;
-          }
-    | exception Invalid_argument msg -> Error msg
+  match replay with
+  | Some path -> load_replay path unreliable recovery
+  | None ->
+      if drop = 0.0 && dup = 0.0 && delay = 0 && crashes = [] then
+        Ok { faults = None; reliable = false; recovery }
+      else (
+        match
+          Fault.profile ~drop ~duplicate:dup ~max_delay:delay ~crashes:(List.rev crashes) ()
+        with
+        | profile ->
+            Ok
+              {
+                faults = Some (Fault.create ~seed:fault_seed profile);
+                reliable = not unreliable;
+                recovery;
+              }
+        | exception Invalid_argument msg -> Error msg)
 
 let fault_config_t =
   Term.term_result' ~usage:true
     Term.(
-      const make_fault_config $ drop_t $ dup_t $ delay_t $ crash_t $ checkpoint_every_t
-      $ fault_seed_t $ unreliable_t)
+      const make_fault_config $ replay_t $ drop_t $ dup_t $ delay_t $ crash_t
+      $ checkpoint_every_t $ fault_seed_t $ unreliable_t)
 
 let print_fault_config fc =
   (match fc.faults with
@@ -236,8 +282,58 @@ let print_fault_config fc =
   | Some { Repro_congest.Recovery.checkpoint_every } ->
       Format.printf "recovery layer on (checkpoint every %d rounds)@." checkpoint_every
 
-let print_metrics m =
-  Format.printf "%a@." Metrics.pp m
+(* ------------------------------------------------------------------ *)
+(* Observability (DESIGN.md "Observability"): --trace records every
+   engine run of the invocation into one JSONL file; --metrics-json
+   mirrors each printed metrics table as one machine-readable line. *)
+
+type obs = { trace : string option; metrics_json : bool }
+
+let no_obs = { trace = None; metrics_json = false }
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured execution trace of every engine run to FILE \
+           (JSONL, one event per line). Inspect with trace_cli, or replay with \
+           --replay.")
+
+let metrics_json_t =
+  Arg.(
+    value & flag
+    & info [ "metrics-json" ]
+        ~doc:
+          "Also print each final metrics table as one JSON line on stdout, for \
+           CI and scripts.")
+
+let obs_t = Term.(const (fun trace metrics_json -> { trace; metrics_json }) $ trace_t $ metrics_json_t)
+
+(* The trace is written from at_exit so it survives the early [exit 1]
+   paths (oracle mismatches) — a failing chaos run must still leave a
+   replayable trace behind. *)
+let setup_obs obs =
+  match obs.trace with
+  | None -> ()
+  | Some path ->
+      let r = Recorder.create () in
+      Repro_congest.Engine.trace_sink := Recorder.sink r;
+      at_exit (fun () ->
+          Trace_io.write_jsonl ~path (Recorder.to_list r);
+          if Recorder.overwritten r > 0 then
+            Printf.eprintf "trace: ring buffer overflowed, %d oldest events lost\n%!"
+              (Recorder.overwritten r))
+
+(* the machine-readable line alone — for call sites that print their
+   own human table *)
+let metrics_json obs ~name m =
+  if obs.metrics_json then print_endline (Metrics.to_json ~name m)
+
+let print_metrics ?(obs = no_obs) ?(name = "metrics") m =
+  Format.printf "%a@." Metrics.pp m;
+  metrics_json obs ~name m
 
 let print_graph_summary g =
   Format.printf "%a, diameter %d@." Digraph.pp g

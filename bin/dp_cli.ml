@@ -26,7 +26,8 @@ let problem_conv =
   in
   Arg.conv (parse, print)
 
-let run g problem terminals width_cap =
+let run g problem terminals width_cap obs =
+  Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
   let metrics = Metrics.create () in
   let report = Build.decompose g ~metrics in
@@ -63,7 +64,7 @@ let run g problem terminals width_cap =
       Format.printf "terminals: {%s}@."
         (String.concat "," (List.map string_of_int terminals));
       show "minimum Steiner tree weight" (Dp.steiner_tree g nice ~terminals ~metrics));
-  Cli_common.print_metrics metrics
+  Cli_common.print_metrics ~obs ~name:"dp" metrics
 
 let problem_t =
   Arg.(
@@ -85,6 +86,8 @@ let width_cap_t =
 let cmd =
   Cmd.v
     (Cmd.info "dp_cli" ~doc:"NP-hard optimization over a tree decomposition")
-    Term.(const run $ Cli_common.graph_t $ problem_t $ terminals_t $ width_cap_t)
+    Term.(
+      const run $ Cli_common.graph_t $ problem_t $ terminals_t $ width_cap_t
+      $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

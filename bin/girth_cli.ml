@@ -19,7 +19,8 @@ let mode_conv =
   in
   Arg.conv (parse, print)
 
-let run g mode fc =
+let run g mode fc obs =
+  Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
   Cli_common.print_fault_config fc;
   let faults = fc.Cli_common.faults and reliable = fc.Cli_common.reliable in
@@ -36,7 +37,7 @@ let run g mode fc =
      else if r.Girth.girth > reference then "upper bound (increase trials)"
      else "MISMATCH");
   Format.printf "trials: %d@." r.Girth.trials;
-  Cli_common.print_metrics m;
+  Cli_common.print_metrics ~obs ~name:"girth" m;
   (* oracle validation: below the reference is always wrong; when a fault
      profile was requested any deviation means reliability failed *)
   if r.Girth.girth < reference || (faults <> None && r.Girth.girth <> reference) then exit 1
@@ -51,6 +52,6 @@ let mode_t =
 let cmd =
   Cmd.v
     (Cmd.info "girth_cli" ~doc:"Weighted girth (Theorem 5)")
-    Term.(const run $ Cli_common.graph_t $ mode_t $ Cli_common.fault_config_t)
+    Term.(const run $ Cli_common.graph_t $ mode_t $ Cli_common.fault_config_t $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

@@ -35,14 +35,16 @@ let load_labels path =
        with End_of_file -> ());
       Array.of_list (List.rev !out))
 
-let precompute g out =
+let precompute g out obs =
+  Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
   let m = Metrics.create () in
   let report = Build.decompose g ~metrics:m in
   let labels = Dl.build g report.Build.decomposition ~metrics:m in
   save_labels out labels;
   Format.printf "wrote %d labels (max %d words) to %s after %d simulated rounds@."
-    (Array.length labels) (Dl.max_label_words labels) out (Metrics.rounds m)
+    (Array.length labels) (Dl.max_label_words labels) out (Metrics.rounds m);
+  Cli_common.metrics_json obs ~name:"precompute" m
 
 let query labels_path pairs =
   let labels = load_labels labels_path in
@@ -76,7 +78,7 @@ let pairs_t =
 let precompute_cmd =
   Cmd.v
     (Cmd.info "precompute" ~doc:"Build labels for a graph and save them")
-    Term.(const precompute $ Cli_common.graph_t $ out_t)
+    Term.(const precompute $ Cli_common.graph_t $ out_t $ Cli_common.obs_t)
 
 let query_cmd =
   Cmd.v

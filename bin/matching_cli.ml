@@ -7,7 +7,8 @@ module Metrics = Repro_congest.Metrics
 module Matching = Repro_core.Matching
 open Cmdliner
 
-let run g subdivide baseline =
+let run g subdivide baseline obs =
+  Cli_common.setup_obs obs;
   let g = if subdivide then Generators.subdivide g else g in
   Cli_common.print_graph_summary g;
   if not (Repro_graph.Bipartite.is_bipartite g) then begin
@@ -22,12 +23,13 @@ let run g subdivide baseline =
     (if r.Matching.size = hk then "exact" else "MISMATCH");
   Format.printf "augmentations: %d, recursion levels: %d@." r.Matching.augmentations
     r.Matching.levels;
-  Cli_common.print_metrics m;
+  Cli_common.print_metrics ~obs ~name:"matching" m;
   if baseline then begin
     let mb = Metrics.create () in
     let rb = Matching.sequential_baseline g ~metrics:mb in
     Format.printf "baseline (sequential augmentation): size %d, %d rounds@."
-      rb.Matching.size (Metrics.rounds mb)
+      rb.Matching.size (Metrics.rounds mb);
+    Cli_common.metrics_json obs ~name:"baseline" mb
   end
 
 let subdivide_t =
@@ -39,6 +41,6 @@ let baseline_t =
 let cmd =
   Cmd.v
     (Cmd.info "matching_cli" ~doc:"Exact bipartite maximum matching (Theorem 4)")
-    Term.(const run $ Cli_common.graph_t $ subdivide_t $ baseline_t)
+    Term.(const run $ Cli_common.graph_t $ subdivide_t $ baseline_t $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

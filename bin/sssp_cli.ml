@@ -13,7 +13,8 @@ module Dl = Repro_core.Dl
 module Sssp = Repro_core.Sssp
 open Cmdliner
 
-let run g source fc =
+let run g source fc obs =
+  Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
   Cli_common.print_fault_config fc;
   let faults = fc.Cli_common.faults
@@ -38,6 +39,7 @@ let run g source fc =
         false
   in
   Format.printf "ours:@ %a@." Metrics.pp m;
+  Cli_common.metrics_json obs ~name:"ours" m;
   let mb = Metrics.create () in
   let bf = Bellman_ford.run ?faults ~reliable ?recovery g ~source ~metrics:mb in
   let bf_ok = bf = expected in
@@ -47,6 +49,7 @@ let run g source fc =
   if Metrics.retransmissions mb > 0 then
     Format.printf "baseline transport: %d retransmissions over %d dropped / %d duplicated@."
       (Metrics.retransmissions mb) (Metrics.dropped mb) (Metrics.duplicated mb);
+  Cli_common.metrics_json obs ~name:"bellman-ford" mb;
   if not (ok && bf_ok) then exit 1
 
 let source_t =
@@ -55,6 +58,8 @@ let source_t =
 let cmd =
   Cmd.v
     (Cmd.info "sssp_cli" ~doc:"Exact SSSP via distance labeling (Theorem 2)")
-    Term.(const run $ Cli_common.graph_t $ source_t $ Cli_common.fault_config_t)
+    Term.(
+      const run $ Cli_common.graph_t $ source_t $ Cli_common.fault_config_t
+      $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,83 @@
+(* Inspect JSONL execution traces recorded with --trace: critical-path
+   report (message-dependency DAG, longest chain, idle time, congested
+   edges), Chrome trace-event export for Perfetto / chrome://tracing,
+   and per-edge congestion CSV. *)
+
+module Event = Repro_obs.Event
+module Trace_io = Repro_obs.Trace_io
+module Critical_path = Repro_obs.Critical_path
+open Cmdliner
+
+let load path =
+  match Trace_io.read_jsonl ~path with
+  | events -> Ok events
+  | exception Event.Parse_error msg -> Error msg
+  | exception Sys_error msg -> Error msg
+
+let report trace top =
+  Result.map
+    (fun events ->
+      let reports = Critical_path.analyze_all ~top events in
+      if reports = [] then Format.printf "empty trace@."
+      else
+        List.iter
+          (fun r -> Format.printf "@[<v>%a@]@." Critical_path.pp_report r)
+          reports)
+    (load trace)
+
+let chrome trace out =
+  Result.map
+    (fun events ->
+      Trace_io.write_chrome ~path:out events;
+      Format.printf "wrote Chrome trace to %s (load in Perfetto or chrome://tracing)@." out)
+    (load trace)
+
+let csv trace out =
+  Result.map
+    (fun events ->
+      Trace_io.write_congestion_csv ~path:out events;
+      Format.printf "wrote per-edge congestion CSV to %s@." out)
+    (load trace)
+
+let wrap t = Term.term_result' ~usage:false t
+
+let trace_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"JSONL trace file recorded with --trace.")
+
+let top_t =
+  Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"K" ~doc:"How many idle nodes / congested edges to list.")
+
+let out_t doc = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Critical-path report: longest message-dependency chain (makespan lower bound), \
+          per-node idle time, top congested edges — one section per engine run")
+    (wrap Term.(const report $ trace_t $ top_t))
+
+let chrome_cmd =
+  Cmd.v
+    (Cmd.info "chrome"
+       ~doc:
+         "Export as Chrome trace-event JSON: one track per node, message arrows as flow \
+          events; load in Perfetto or chrome://tracing")
+    (wrap Term.(const chrome $ trace_t $ out_t "Chrome trace JSON file to write."))
+
+let csv_cmd =
+  Cmd.v
+    (Cmd.info "csv" ~doc:"Export per-edge congestion aggregates as CSV")
+    (wrap Term.(const csv $ trace_t $ out_t "CSV file to write."))
+
+let cmd =
+  Cmd.group
+    (Cmd.info "trace_cli" ~doc:"Analyze execution traces recorded with --trace")
+    [ report_cmd; chrome_cmd; csv_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -7,7 +7,8 @@ module Heuristic = Repro_treedec.Heuristic
 module Build = Repro_treedec.Build
 open Cmdliner
 
-let run g show_bags =
+let run g show_bags obs =
+  Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
   let m = Metrics.create () in
   let report = Build.decompose g ~metrics:m in
@@ -22,7 +23,7 @@ let run g show_bags =
     (Heuristic.treewidth_upper (Repro_graph.Digraph.skeleton g));
   Format.printf "max SEP parameter t: %d, recursion levels: %d@." report.Build.max_t
     report.Build.levels;
-  Cli_common.print_metrics m;
+  Cli_common.print_metrics ~obs ~name:"treedec" m;
   if show_bags then
     List.iter
       (fun key ->
@@ -38,6 +39,6 @@ let show_bags_t =
 let cmd =
   Cmd.v
     (Cmd.info "treedec_cli" ~doc:"Distributed tree decomposition (Theorem 1)")
-    Term.(const run $ Cli_common.graph_t $ show_bags_t)
+    Term.(const run $ Cli_common.graph_t $ show_bags_t $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

@@ -3,6 +3,14 @@ module Digraph = Repro_graph.Digraph
 let default_max_words = 4
 let audit_enabled = ref false
 
+(* Process-wide trace sink (same install pattern as [audit_enabled]):
+   the engine and the layers above it (transport, recovery) emit
+   through whatever sink is installed here, and never reference a
+   concrete sink implementation. Emit sites guard on [.enabled] before
+   constructing an event, so with the default null sink tracing
+   allocates nothing and costs one branch per site. *)
+let trace_sink = ref Repro_obs.Sink.null
+
 exception
   Round_limit_exceeded of { label : string; rounds : int; active_nodes : int }
 
@@ -56,8 +64,33 @@ module Make (M : MSG) = struct
     in
     let in_flight = ref false in
     (* copies held back by a delay fault:
-       (deliver_round, dst, src, msg, words measured at send) *)
+       (deliver_round, dst, src, msg, words measured at send, send_round) *)
     let delayed = ref [] in
+    let sink = !trace_sink in
+    let tracing = sink.Repro_obs.Sink.enabled in
+    let emit e = Repro_obs.Sink.emit sink e in
+    (match faults with Some f -> Fault.begin_run f | None -> ());
+    if tracing then begin
+      emit (Repro_obs.Event.Run_start { label; faulty = Option.is_some faults });
+      (* static crash windows up front so replay can rebuild the profile *)
+      match faults with
+      | None -> ()
+      | Some f ->
+          List.iter
+            (fun (c : Fault.crash) ->
+              emit
+                (Repro_obs.Event.Crash_window
+                   {
+                     node = c.node;
+                     from_round = c.from_round;
+                     until_round = c.until_round;
+                     amnesia = c.mode = Fault.Amnesia;
+                   }))
+            (Fault.profile_of f).crashes
+    end;
+    (* last observed up/down status per node, for crash/restart
+       transition events (allocated only when tracing) *)
+    let prev_down = Array.make (if tracing then n else 0) false in
     let crashed v = match faults with None -> false | Some f -> Fault.crashed f ~round:!round v in
     let live_active v =
       active states.(v)
@@ -143,6 +176,20 @@ module Make (M : MSG) = struct
         raise
           (Round_limit_exceeded
              { label; rounds = !round; active_nodes = count_active () });
+      if tracing then begin
+        emit (Repro_obs.Event.Round_start { round = !round });
+        match faults with
+        | None -> ()
+        | Some f ->
+            for v = 0 to n - 1 do
+              let down = Fault.crashed f ~round:!round v in
+              if down <> prev_down.(v) then
+                emit
+                  (if down then Repro_obs.Event.Crash { round = !round; node = v }
+                   else Repro_obs.Event.Restart { round = !round; node = v });
+              prev_down.(v) <- down
+            done
+      end;
       (match faults with
       | Some f ->
           for v = 0 to n - 1 do
@@ -159,7 +206,7 @@ module Make (M : MSG) = struct
          when the copy was accepted; in audit mode the copy is re-measured
          on delivery so a sender mutating a message after handing it to the
          network is caught. *)
-      let deliver ~deliver_round ~words dst src msg =
+      let deliver ~send_round ~deliver_round ~words dst src msg =
         let receiver_down =
           match faults with
           | None -> false
@@ -176,12 +223,18 @@ module Make (M : MSG) = struct
         end;
         if receiver_down then begin
           Metrics.add_dropped metrics 1;
-          if audit then incr a_dropped
+          if audit then incr a_dropped;
+          if tracing then
+            emit
+              (Repro_obs.Event.Drop
+                 { send_round; round = deliver_round; src; dst; words; reason = Receiver_down })
         end
         else begin
           next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst);
           incr delivered_this_round;
-          if audit then incr a_delivered
+          if audit then incr a_delivered;
+          if tracing then
+            emit (Repro_obs.Event.Deliver { send_round; round = deliver_round; src; dst; words })
         end
       in
       for v = 0 to n - 1 do
@@ -224,33 +277,64 @@ module Make (M : MSG) = struct
                 incr a_sent;
                 a_words := !a_words + w
               end;
+              if tracing then
+                emit (Repro_obs.Event.Send { round = !round; src = v; dst = u; words = w });
               match faults with
-              | None -> deliver ~deliver_round:(!round + 1) ~words:w u v msg
+              | None -> deliver ~send_round:!round ~deliver_round:(!round + 1) ~words:w u v msg
               | Some f -> (
                   match Fault.plan f ~round:!round ~src:v ~dst:u with
                   | [] ->
                       Metrics.add_dropped metrics 1;
-                      if audit then incr a_dropped
+                      if audit then incr a_dropped;
+                      if tracing then
+                        emit
+                          (Repro_obs.Event.Drop
+                             {
+                               send_round = !round;
+                               round = !round;
+                               src = v;
+                               dst = u;
+                               words = w;
+                               reason = Link;
+                             })
                   | delays ->
                       if List.length delays > 1 then begin
                         Metrics.add_duplicated metrics (List.length delays - 1);
-                        if audit then a_duplicated := !a_duplicated + List.length delays - 1
+                        if audit then a_duplicated := !a_duplicated + List.length delays - 1;
+                        if tracing then
+                          emit
+                            (Repro_obs.Event.Duplicate
+                               { round = !round; src = v; dst = u; copies = List.length delays })
                       end;
                       List.iter
                         (fun extra ->
-                          if extra = 0 then deliver ~deliver_round:(!round + 1) ~words:w u v msg
-                          else delayed := (!round + 1 + extra, u, v, msg, w) :: !delayed)
+                          if extra = 0 then
+                            deliver ~send_round:!round ~deliver_round:(!round + 1) ~words:w u v
+                              msg
+                          else begin
+                            delayed := (!round + 1 + extra, u, v, msg, w, !round) :: !delayed;
+                            if tracing then
+                              emit
+                                (Repro_obs.Event.Delay
+                                   {
+                                     round = !round;
+                                     src = v;
+                                     dst = u;
+                                     deliver_round = !round + 1 + extra;
+                                   })
+                          end)
                         delays))
             outbox
         end
       done;
       (* copies whose delay matured this round join the next inboxes *)
       let matured, still_held =
-        List.partition (fun (dr, _, _, _, _) -> dr = !round + 1) !delayed
+        List.partition (fun (dr, _, _, _, _, _) -> dr = !round + 1) !delayed
       in
       delayed := still_held;
       List.iter
-        (fun (dr, dst, src, msg, w) -> deliver ~deliver_round:dr ~words:w dst src msg)
+        (fun (dr, dst, src, msg, w, sr) ->
+          deliver ~send_round:sr ~deliver_round:dr ~words:w dst src msg)
         matured;
       Array.blit next_inboxes 0 inboxes 0 n;
       in_flight := Array.exists (fun ib -> ib <> []) inboxes;
@@ -258,6 +342,7 @@ module Make (M : MSG) = struct
       Metrics.add_words metrics !words_this_round;
       Metrics.add_delivered metrics !delivered_this_round;
       if audit then audit_round_end ();
+      if tracing then emit (Repro_obs.Event.Round_end { round = !round });
       incr round;
       Metrics.add metrics ~label 1
     done;

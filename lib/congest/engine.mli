@@ -46,6 +46,17 @@ exception Audit_violation of { label : string; round : int; detail : string }
     to [false] for production runs. *)
 val audit_enabled : bool ref
 
+(** Process-wide trace sink (DESIGN.md "Observability"). Defaults to
+    the disabled [Repro_obs.Sink.null]; install an enabled sink (e.g.
+    [Repro_obs.Recorder.sink]) to make every subsequent [run] — and the
+    {!Transport} and {!Recovery} layers riding on it — emit typed
+    events ([Run_start], [Round_start]/[Round_end], [Send], [Deliver],
+    [Drop], [Duplicate], [Delay], crash transitions, ...). Emit sites
+    test [enabled] before building an event, so the default sink adds
+    zero allocation and no measurable cost; the engine never depends
+    on a concrete sink implementation. *)
+val trace_sink : Repro_obs.Sink.t ref
+
 module type MSG = sig
   type t
 

@@ -36,23 +36,44 @@ let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(crashes = []) ()
     crashes;
   { drop; duplicate; max_delay; crashes }
 
-type t = { p : profile; rng : Random.State.t; seed : int }
+(* Two ways to decide message fates: the seeded random process, or a
+   recorded schedule being replayed (Repro_obs.Replay feeds one in via
+   [scripted]). Scripted deciders need to know which [Engine.run] of
+   the CLI invocation is consulting them — rounds restart at 0 each
+   run — so the engine announces run boundaries with [begin_run]. *)
+type decider =
+  | Rng of Random.State.t
+  | Scripted of (run:int -> round:int -> src:int -> dst:int -> int list)
+
+type t = { p : profile; decider : decider; seed : int; mutable run : int }
 
 let create ?(seed = 0) p =
-  { p; rng = Random.State.make [| seed lxor 0xfa17; p.max_delay + 1 |]; seed }
+  {
+    p;
+    decider = Rng (Random.State.make [| seed lxor 0xfa17; p.max_delay + 1 |]);
+    seed;
+    run = -1;
+  }
 
+let scripted ?(crashes = []) plan =
+  { p = profile ~crashes (); decider = Scripted plan; seed = 0; run = -1 }
+
+let begin_run t = t.run <- t.run + 1
 let profile_of t = t.p
 
-let plan t ~round:_ ~src:_ ~dst:_ =
-  let p = t.p in
-  if p.drop > 0.0 && Random.State.float t.rng 1.0 < p.drop then []
-  else begin
-    let copies =
-      if p.duplicate > 0.0 && Random.State.float t.rng 1.0 < p.duplicate then 2 else 1
-    in
-    List.init copies (fun _ ->
-        if p.max_delay = 0 then 0 else Random.State.int t.rng (p.max_delay + 1))
-  end
+let plan t ~round ~src ~dst =
+  match t.decider with
+  | Scripted f -> f ~run:(max t.run 0) ~round ~src ~dst
+  | Rng rng ->
+      let p = t.p in
+      if p.drop > 0.0 && Random.State.float rng 1.0 < p.drop then []
+      else begin
+        let copies =
+          if p.duplicate > 0.0 && Random.State.float rng 1.0 < p.duplicate then 2 else 1
+        in
+        List.init copies (fun _ ->
+            if p.max_delay = 0 then 0 else Random.State.int rng (p.max_delay + 1))
+      end
 
 let in_window c ~round =
   round >= c.from_round
@@ -84,7 +105,13 @@ let amnesia_in_progress t ~round =
 
 let pp fmt t =
   let amnesia = List.length (List.filter (fun c -> c.mode = Amnesia) t.p.crashes) in
-  Format.fprintf fmt "faults(seed=%d drop=%g dup=%g delay<=%d crashes=%d amnesia=%d)" t.seed
-    t.p.drop t.p.duplicate t.p.max_delay
-    (List.length t.p.crashes)
-    amnesia
+  match t.decider with
+  | Scripted _ ->
+      Format.fprintf fmt "faults(scripted crashes=%d amnesia=%d)"
+        (List.length t.p.crashes)
+        amnesia
+  | Rng _ ->
+      Format.fprintf fmt "faults(seed=%d drop=%g dup=%g delay<=%d crashes=%d amnesia=%d)"
+        t.seed t.p.drop t.p.duplicate t.p.max_delay
+        (List.length t.p.crashes)
+        amnesia

@@ -74,6 +74,24 @@ type t
     same order. *)
 val create : ?seed:int -> profile -> t
 
+(** [scripted ?crashes plan] builds an adversary that replays a
+    recorded delivery schedule instead of rolling dice: [plan] is
+    consulted for every send exactly like {!plan} below, additionally
+    keyed by which engine run of the process is asking (see
+    {!begin_run}); [crashes] replays the recorded crash windows. Used
+    by [--replay] (the schedule comes from [Repro_obs.Replay]); the
+    random dimensions of the profile are all zero.
+
+    @raise Invalid_argument if [crashes] is invalid (as {!profile}). *)
+val scripted :
+  ?crashes:crash list -> (run:int -> round:int -> src:int -> dst:int -> int list) -> t
+
+(** [begin_run t] announces that a new [Engine.run] is starting; the
+    engine calls it once per run. Scripted deciders use the resulting
+    run index to section their schedule (rounds restart at 0 each
+    run); for {!create}d adversaries it is a no-op. *)
+val begin_run : t -> unit
+
 val profile_of : t -> profile
 
 (** [plan t ~round ~src ~dst] decides the fate of one message sent on link

@@ -79,6 +79,37 @@ let merge ~into src =
      [lint: hashtbl-order] *)
   Hashtbl.iter (fun label r -> add into ~label !r) src.per_label
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?name t =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  (match name with
+  | Some n -> Printf.bprintf buf {|"name":"%s",|} (json_escape n)
+  | None -> ());
+  Printf.bprintf buf
+    {|"rounds":%d,"messages":%d,"words":%d,"delivered":%d,"dropped":%d,"duplicated":%d,"retransmissions":%d,"checkpoints":%d,"checkpoint_words":%d,"recoveries":%d,"resync_rounds":%d,"labels":{|}
+    t.rounds t.messages t.words t.delivered t.dropped t.duplicated t.retransmissions
+    t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds;
+  List.iteri
+    (fun i (l, r) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf {|"%s":%d|} (json_escape l) r)
+    (breakdown t);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>rounds=%d messages=%d" t.rounds t.messages;
   if t.words > 0 then Format.fprintf fmt " words=%d" t.words;

@@ -79,4 +79,10 @@ val breakdown : t -> (string * int) list
 (** [merge ~into src] adds all of [src]'s charges into [into]. *)
 val merge : into:t -> t -> unit
 
+(** [to_json ?name t] renders every counter plus the per-label
+    breakdown as one flat JSON object (no trailing newline); [name]
+    adds a leading ["name"] field. Machine-readable counterpart of
+    {!pp}, used by the shared [--metrics-json] CLI flag. *)
+val to_json : ?name:string -> t -> string
+
 val pp : Format.formatter -> t -> unit

@@ -37,6 +37,7 @@ module Make (P : RECOVERABLE) = struct
   type rst = {
     user : P.st;
     mutable hello : bool;  (* just restarted: flood Hello next step *)
+    mutable resyncing : bool;  (* restart handshake not yet complete *)
     cells : (int, cell) Hashtbl.t;
     await : (int, unit) Hashtbl.t;  (* neighbors not heard from since restart *)
     nbrs : int array;
@@ -45,6 +46,8 @@ module Make (P : RECOVERABLE) = struct
   let run skeleton ?faults ?(checkpoint_every = 0) ?rto ?max_rounds ?max_words ~metrics
       ~label () =
     if checkpoint_every < 0 then invalid_arg "Recovery.run: negative checkpoint interval";
+    let sink = !Engine.trace_sink in
+    let tracing = sink.Repro_obs.Sink.enabled in
     let n = Digraph.n skeleton in
     (* simulated per-node stable storage: survives amnesia restarts
        because it lives outside the engine's (volatile) node states *)
@@ -55,7 +58,7 @@ module Make (P : RECOVERABLE) = struct
       Array.iter (fun u -> Hashtbl.replace cells u { resync_owed = false; data = None }) nbrs;
       let await = Hashtbl.create 8 in
       if hello then Array.iter (fun u -> Hashtbl.replace await u ()) nbrs;
-      { user; hello; cells; await; nbrs }
+      { user; hello; resyncing = hello; cells; await; nbrs }
     in
     let wrap_init v = fresh_rst ~hello:false v (P.init v) in
     let wrap_restart ~round:_ ~node =
@@ -89,9 +92,20 @@ module Make (P : RECOVERABLE) = struct
         let snap = P.snapshot user in
         stable.(v) <- Some snap;
         Metrics.add_checkpoints metrics 1;
-        Metrics.add_checkpoint_words metrics (Array.length snap)
+        Metrics.add_checkpoint_words metrics (Array.length snap);
+        if tracing then
+          Repro_obs.Sink.emit sink
+            (Repro_obs.Event.Checkpoint { round; node = v; words = Array.length snap })
       end;
-      if Hashtbl.length st.await > 0 then Metrics.add_resync_rounds metrics 1;
+      let awaiting = Hashtbl.length st.await in
+      if awaiting > 0 then Metrics.add_resync_rounds metrics 1
+      else if st.resyncing then begin
+        (* the post-restart handshake just completed: every neighbor has
+           been heard from since the reboot *)
+        st.resyncing <- false;
+        if tracing then
+          Repro_obs.Sink.emit sink (Repro_obs.Event.Recovery_resync { round; node = v })
+      end;
       (* emit at most one message per neighbor, Hello > Resync > Data;
          a deferred slot drains on a later round *)
       let out = ref [] in

@@ -61,6 +61,10 @@ module Make (M : Engine.MSG) = struct
   let run skeleton ~init ~step ~active ?faults ?on_restart ?(rto = 4)
       ?max_rounds ?(max_words = Engine.default_max_words) ~metrics ~label () =
     if rto <= 2 then invalid_arg "Transport.run: rto must exceed the 2-round ack latency";
+    (* transport-level events go through the same process-wide sink as
+       the engine's; captured once per run, guarded like every site *)
+    let sink = !Engine.trace_sink in
+    let tracing = sink.Repro_obs.Sink.enabled in
     let fresh_node ~epoch v user =
       let nbrs = Digraph.neighbors skeleton v in
       let links = Hashtbl.create 8 in
@@ -100,7 +104,10 @@ module Make (M : Engine.MSG) = struct
                 match l.outstanding with
                 | Some (s', _) when s' = s ->
                     l.outstanding <- None;
-                    l.backoff <- 0
+                    l.backoff <- 0;
+                    if tracing then
+                      Repro_obs.Sink.emit sink
+                        (Repro_obs.Event.Ack { round; src = v; dst = u; seq = s })
                 | _ -> ())
             | _ -> ());
             match p.Packet.data with
@@ -143,6 +150,9 @@ module Make (M : Engine.MSG) = struct
             match l.outstanding with
             | Some (s, m) when round >= l.retry_round ->
                 Metrics.add_retransmissions metrics 1;
+                if tracing then
+                  Repro_obs.Sink.emit sink
+                    (Repro_obs.Event.Retransmit { round; src = v; dst = u; seq = s });
                 l.backoff <- min (l.backoff + 1) 6;
                 l.retry_round <- round + (rto lsl l.backoff);
                 Some (s, m)

@@ -1,0 +1,177 @@
+(* Critical-path analysis over a recorded run.
+
+   The message-dependency DAG: a copy m2 sent by node v at round r2
+   depends on every copy delivered to v at a round <= r2 (v's state
+   when it produced m2 could reflect it). The longest dependency chain
+   is computed with the DP best(v) = longest chain ending with a
+   delivery at v; a send from v extends best(v) by one, and the
+   extended chain is captured at *send* time (best(v) may improve
+   before the copy lands). One subtlety: the engine's per-node loop
+   interleaves round-r sends with round-(r+1) deliveries in the event
+   stream, so a delivery must not become visible to the DP until the
+   round it lands in — deliveries are staged and committed at the next
+   [Round_start]. The chain length lower-bounds the makespan of the same
+   message pattern under *any* schedule (each chain message costs at
+   least one round): the "dilation" term of the dilation+congestion
+   bounds the shortcut framework optimizes. *)
+
+type link = { send_round : int; src : int; dst : int; deliver_round : int }
+
+type report = {
+  label : string;
+  faulty : bool;
+  rounds : int;  (* total rounds executed (= Metrics.rounds) *)
+  nodes : int;
+  sends : int;
+  delivered : int;
+  dropped : int;
+  retransmits : int;
+  chain : link list;  (* longest dependency chain, causal order *)
+  idle : (int * int) list;  (* (node, idle rounds), worst first, top k *)
+  congested : (int * int * int * int) list;
+      (* (src, dst, words, sends), heaviest first, top k *)
+}
+
+let chain_length r = List.length r.chain
+
+let analyze ?(top = 5) (run : Trace_io.run) =
+  let nodes = max (Trace_io.max_node run + 1) 1 in
+  let rounds = Trace_io.run_max_round run + 1 in
+  (* DP state: length of, and the reversed chain behind, the longest
+     dependency chain ending with a delivery at each node *)
+  let best_len = Array.make nodes 0 in
+  let best_chain = Array.make nodes [] in
+  (* copies in flight: (send_round, src, dst) -> candidate chain *)
+  let pending : (int * int * int, int * link list) Hashtbl.t = Hashtbl.create 1024 in
+  (* deliveries staged until their round starts: (deliver_round, dst,
+     len, chain) — a round-(r+1) delivery appears in the stream during
+     round r and must stay invisible to round-r sends *)
+  let staged = ref [] in
+  let commit_staged upto =
+    let commit_now, keep =
+      List.partition (fun (dr, _, _, _) -> dr <= upto) !staged
+    in
+    staged := keep;
+    (* commit oldest first so a chain through two staged hops resolves
+       in round order *)
+    List.iter
+      (fun (_, dst, len, chain) ->
+        if len > best_len.(dst) then begin
+          best_len.(dst) <- len;
+          best_chain.(dst) <- chain
+        end)
+      (List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) commit_now)
+  in
+  (* activity for idle accounting: marks arrive round-monotone per node *)
+  let last_active = Array.make nodes (-1) in
+  let active = Array.make nodes 0 in
+  let mark v round =
+    if last_active.(v) <> round then begin
+      last_active.(v) <- round;
+      active.(v) <- active.(v) + 1
+    end
+  in
+  (* per-edge load: (src, dst) -> (words, sends) *)
+  let load : (int * int, int ref * int ref) Hashtbl.t = Hashtbl.create 256 in
+  let sends = ref 0 and delivered = ref 0 and dropped = ref 0 and retransmits = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e with
+      | Send { round; src; dst; words } ->
+          incr sends;
+          mark src round;
+          Hashtbl.replace pending (round, src, dst)
+            ( best_len.(src) + 1,
+              { send_round = round; src; dst; deliver_round = -1 } :: best_chain.(src) );
+          let w, s =
+            match Hashtbl.find_opt load (src, dst) with
+            | Some p -> p
+            | None ->
+                let p = (ref 0, ref 0) in
+                Hashtbl.replace load (src, dst) p;
+                p
+          in
+          w := !w + words;
+          incr s
+      | Deliver { send_round; round; src; dst; _ } -> (
+          incr delivered;
+          mark dst round;
+          match Hashtbl.find_opt pending (send_round, src, dst) with
+          | Some (len, link :: prefix) ->
+              staged := (round, dst, len, { link with deliver_round = round } :: prefix) :: !staged
+          | Some (_, []) | None -> ())
+      | Round_start { round } -> commit_staged round
+      | Drop _ -> incr dropped
+      | Retransmit _ -> incr retransmits
+      | _ -> ())
+    run.events;
+  commit_staged max_int;
+  let winner = ref 0 in
+  for v = 1 to nodes - 1 do
+    if best_len.(v) > best_len.(!winner) then winner := v
+  done;
+  let chain = List.rev best_chain.(!winner) in
+  let idle =
+    List.init nodes (fun v -> (v, rounds - active.(v)))
+    |> List.filter (fun (_, i) -> i > 0)
+    |> List.sort (fun (v1, i1) (v2, i2) ->
+           let c = Int.compare i2 i1 in
+           if c <> 0 then c else Int.compare v1 v2)
+    |> List.filteri (fun i _ -> i < top)
+  in
+  let congested =
+    Hashtbl.fold (fun (src, dst) (w, s) acc -> (src, dst, !w, !s) :: acc) load []
+    |> List.sort (fun (s1, d1, w1, _) (s2, d2, w2, _) ->
+           let c = Int.compare w2 w1 in
+           if c <> 0 then c
+           else
+             let c = Int.compare s1 s2 in
+             if c <> 0 then c else Int.compare d1 d2)
+    |> List.filteri (fun i _ -> i < top)
+  in
+  {
+    label = run.label;
+    faulty = run.faulty;
+    rounds;
+    nodes;
+    sends = !sends;
+    delivered = !delivered;
+    dropped = !dropped;
+    retransmits = !retransmits;
+    chain;
+    idle;
+    congested;
+  }
+
+let analyze_all ?top events = List.map (analyze ?top) (Trace_io.split_runs events)
+
+let pp_report fmt r =
+  let open Format in
+  fprintf fmt "run %S%s: %d nodes, %d rounds, %d sends, %d delivered, %d dropped, %d rtx@,"
+    r.label
+    (if r.faulty then " [faulty]" else "")
+    r.nodes r.rounds r.sends r.delivered r.dropped r.retransmits;
+  fprintf fmt "  longest dependency chain: %d message(s)" (chain_length r);
+  (match (r.chain, List.rev r.chain) with
+  | first :: _, last :: _ ->
+      fprintf fmt " spanning rounds %d..%d (makespan lower bound %d, measured %d)@,"
+        first.send_round last.deliver_round (chain_length r) r.rounds;
+      let shown = List.filteri (fun i _ -> i < 8) r.chain in
+      List.iter
+        (fun l ->
+          fprintf fmt "    r%d: %d -> %d (delivered r%d)@," l.send_round l.src l.dst
+            l.deliver_round)
+        shown;
+      if chain_length r > 8 then fprintf fmt "    ... (%d more)@," (chain_length r - 8)
+  | _ -> fprintf fmt "@,");
+  if r.idle <> [] then begin
+    fprintf fmt "  idle rounds (top): ";
+    List.iter (fun (v, i) -> fprintf fmt "node %d: %d  " v i) r.idle;
+    fprintf fmt "@,"
+  end;
+  if r.congested <> [] then begin
+    fprintf fmt "  congested edges (top):@,";
+    List.iter
+      (fun (src, dst, w, s) -> fprintf fmt "    %d -> %d: %d words over %d sends@," src dst w s)
+      r.congested
+  end

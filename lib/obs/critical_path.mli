@@ -1,0 +1,35 @@
+(** Critical-path analysis over recorded traces.
+
+    Builds the message-dependency DAG of a run (a send from [v]
+    depends on every earlier delivery to [v]) and reports the longest
+    dependency chain — a lower bound on the makespan of the same
+    message pattern under any schedule, i.e. the measured "dilation"
+    term of the dilation+congestion framework — plus per-node idle
+    time and the most congested directed edges. *)
+
+type link = { send_round : int; src : int; dst : int; deliver_round : int }
+
+type report = {
+  label : string;
+  faulty : bool;
+  rounds : int;
+  nodes : int;
+  sends : int;
+  delivered : int;
+  dropped : int;
+  retransmits : int;
+  chain : link list;  (** longest dependency chain, causal order *)
+  idle : (int * int) list;  (** (node, idle rounds), worst first *)
+  congested : (int * int * int * int) list;
+      (** (src, dst, total words, sends), heaviest first *)
+}
+
+val chain_length : report -> int
+
+val analyze : ?top:int -> Trace_io.run -> report
+(** [top] bounds the idle/congested lists (default 5). *)
+
+val analyze_all : ?top:int -> Event.t list -> report list
+(** One report per [Run_start] section of the trace. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,58 @@
+(** Typed trace-event vocabulary for the CONGEST engine.
+
+    Events are self-contained (plain ints/strings), so traces can be
+    serialized, parsed and analyzed without the engine's message
+    types. Round conventions match the engine: [Send] carries the
+    round whose outbox produced the message; [Deliver]/[Drop] carry
+    both that send round and the round at which the copy reached (or
+    failed to reach) the destination inbox. *)
+
+type drop_reason =
+  | Link  (** the adversary destroyed the copy on the wire *)
+  | Receiver_down  (** the copy arrived at a node that was crashed *)
+
+type t =
+  | Run_start of { label : string; faulty : bool }
+      (** emitted once per [Engine.run]; [faulty] records whether an
+          adversary was attached, which is what record/replay keys on *)
+  | Round_start of { round : int }
+  | Round_end of { round : int }
+  | Send of { round : int; src : int; dst : int; words : int }
+  | Deliver of { send_round : int; round : int; src : int; dst : int; words : int }
+  | Drop of {
+      send_round : int;
+      round : int;
+      src : int;
+      dst : int;
+      words : int;
+      reason : drop_reason;
+    }
+  | Duplicate of { round : int; src : int; dst : int; copies : int }
+  | Delay of { round : int; src : int; dst : int; deliver_round : int }
+  | Retransmit of { round : int; src : int; dst : int; seq : int }
+  | Ack of { round : int; src : int; dst : int; seq : int }
+  | Crash of { round : int; node : int }
+  | Restart of { round : int; node : int }
+  | Crash_window of {
+      node : int;
+      from_round : int;
+      until_round : int option;
+      amnesia : bool;
+    }
+      (** static description of an adversary crash window, emitted at
+          [Run_start] time so replay can reconstruct the profile *)
+  | Checkpoint of { round : int; node : int; words : int }
+  | Recovery_resync of { round : int; node : int }
+
+exception Parse_error of string
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside a JSON string literal. *)
+
+val to_json : t -> string
+(** One flat JSON object, no trailing newline. *)
+
+val of_json : string -> t
+(** Inverse of {!to_json}; raises {!Parse_error} on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+(* Deterministic record/replay.
+
+   The engine is deterministic apart from the fault adversary's
+   per-send decisions, and it forbids two same-direction messages on a
+   link in one round — so within one [Engine.run] the triple
+   (send_round, src, dst) uniquely identifies each adversary
+   consultation. A recorded trace therefore captures the complete
+   delivery schedule: each [Send] opens a fate entry, each
+   [Deliver]/receiver-down [Drop] contributes one surviving copy's
+   extra delay, and a fate left empty is a link drop. Replaying that
+   schedule through a scripted adversary (with crash windows rebuilt
+   from [Crash_window] events) reproduces the run exactly.
+
+   A CLI invocation may call [Engine.run] several times (rounds restart
+   at 0 each time), so fates are sectioned per *faulty* run in trace
+   order; the scripted adversary's run counter selects the section. *)
+
+exception Divergence of string
+
+let () =
+  Printexc.register_printer (function
+    | Divergence msg -> Some ("Replay.Divergence: " ^ msg)
+    | _ -> None)
+
+type crash_window = {
+  node : int;
+  from_round : int;
+  until_round : int option;
+  amnesia : bool;
+}
+
+type t = {
+  schedules : (int * int * int, int list) Hashtbl.t array;
+  crashes : crash_window list;
+}
+
+let of_events events =
+  let faulty_runs = List.filter (fun (r : Trace_io.run) -> r.faulty) (Trace_io.split_runs events) in
+  let schedule_of_run (r : Trace_io.run) =
+    let tbl : (int * int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
+    List.iter
+      (fun (e : Event.t) ->
+        match e with
+        | Send { round; src; dst; _ } -> Hashtbl.replace tbl (round, src, dst) []
+        | Deliver { send_round; round; src; dst; _ }
+        | Drop { send_round; round; src; dst; reason = Receiver_down; _ } -> (
+            (* one surviving copy, delivered [extra] rounds late
+               (receiver-down copies survived the wire and still count) *)
+            let extra = round - send_round - 1 in
+            let key = (send_round, src, dst) in
+            match Hashtbl.find_opt tbl key with
+            | Some l -> Hashtbl.replace tbl key (extra :: l)
+            | None ->
+                raise
+                  (Divergence
+                     (Printf.sprintf "trace has a delivery for unrecorded send r%d %d->%d"
+                        send_round src dst)))
+        | Drop { reason = Link; _ } -> ()
+        | _ -> ())
+      r.events;
+    (* sort each fate's copy delays: order among identical duplicates is
+       unobservable, ascending is canonical *)
+    Hashtbl.filter_map_inplace (fun _ l -> Some (List.sort Int.compare l)) tbl;
+    tbl
+  in
+  let schedules = Array.of_list (List.map schedule_of_run faulty_runs) in
+  (* crash windows repeat identically in every faulty section (one
+     adversary per CLI invocation); keep the first section's list *)
+  let crashes =
+    match faulty_runs with
+    | [] -> []
+    | first :: _ ->
+        List.filter_map
+          (fun (e : Event.t) ->
+            match e with
+            | Crash_window { node; from_round; until_round; amnesia } ->
+                Some { node; from_round; until_round; amnesia }
+            | _ -> None)
+          first.events
+  in
+  { schedules; crashes }
+
+let runs t = Array.length t.schedules
+let crashes t = t.crashes
+
+let plan t ~run ~round ~src ~dst =
+  if run < 0 || run >= Array.length t.schedules then
+    raise
+      (Divergence
+         (Printf.sprintf "replay has %d faulty run(s) but the adversary was consulted in run %d"
+            (Array.length t.schedules) run));
+  match Hashtbl.find_opt t.schedules.(run) (round, src, dst) with
+  | Some fate -> fate
+  | None ->
+      raise
+        (Divergence
+           (Printf.sprintf "no recorded fate for send r%d %d->%d in faulty run %d" round src
+              dst run))

@@ -1,0 +1,40 @@
+(** Deterministic record/replay schedules.
+
+    Within one [Engine.run] the triple (send_round, src, dst)
+    uniquely keys each adversary consultation (the engine forbids two
+    same-direction messages per link per round), so a trace captures
+    the complete delivery schedule. [of_events] rebuilds it: per
+    faulty run, each recorded [Send] opens a fate; each [Deliver] or
+    receiver-down [Drop] adds one surviving copy's extra delay; an
+    empty fate is a link drop. Feeding {!plan} (plus {!crashes}) to a
+    scripted [Fault] adversary reproduces the recorded run exactly. *)
+
+exception Divergence of string
+(** Raised when the replayed execution consults the adversary about a
+    send the trace never recorded (the code under replay diverged from
+    the recorded code), or when it starts more faulty runs than the
+    trace contains. *)
+
+type crash_window = {
+  node : int;
+  from_round : int;
+  until_round : int option;
+  amnesia : bool;
+}
+
+type t
+
+val of_events : Event.t list -> t
+
+val runs : t -> int
+(** Number of faulty run sections in the trace. *)
+
+val crashes : t -> crash_window list
+(** Adversary crash windows, reconstructed from the first faulty run's
+    [Crash_window] events (one adversary serves every run of a CLI
+    invocation, so the windows repeat identically). *)
+
+val plan : t -> run:int -> round:int -> src:int -> dst:int -> int list
+(** The recorded fate of the given send: a (sorted) list of per-copy
+    extra delays; [[]] means the copy was dropped on the wire. Raises
+    {!Divergence} if the trace has no entry. *)

@@ -1,0 +1,20 @@
+(** Event sink interface.
+
+    Instrumented code (engine, transport, recovery) talks only to
+    this type; concrete sinks (the ring-buffer {!Recorder}, file
+    exporters) are built on top and never referenced by the engine.
+
+    Contract for zero-cost disabled tracing: emit sites must test
+    [enabled] before constructing the event, i.e.
+    [if sink.enabled then Sink.emit sink (Event.Send {...})], so that
+    with {!null} installed no event is ever allocated. *)
+
+type t = { enabled : bool; emit : Event.t -> unit }
+
+val null : t
+(** Disabled sink: [enabled = false], [emit = ignore]. *)
+
+val make : (Event.t -> unit) -> t
+(** Enabled sink wrapping the given emit function. *)
+
+val emit : t -> Event.t -> unit

@@ -1,0 +1,279 @@
+(* Trace export/import.
+
+   - JSONL: one Event.t per line (the canonical on-disk format, what
+     --trace writes and --replay / trace_cli read back).
+   - Chrome trace-event JSON: loadable in Perfetto / chrome://tracing;
+     one track (tid) per node plus a "rounds" track, message arrows as
+     flow events ("s"/"f") tying each send slice to its delivery.
+   - Per-edge congestion CSV for spreadsheet-level analysis. *)
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+(* ------------------------------------------------------------------ JSONL *)
+
+let write_jsonl ~path events =
+  with_out path (fun oc ->
+      List.iter
+        (fun e ->
+          output_string oc (Event.to_json e);
+          output_char oc '\n')
+        events)
+
+let read_jsonl ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if String.length line = 0 then acc else Event.of_json line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* ------------------------------------------------------- run sectioning *)
+
+type run = { label : string; faulty : bool; events : Event.t list }
+(* [events] excludes the leading Run_start, in recording order. *)
+
+let split_runs events =
+  let runs = ref [] in
+  let cur = ref None in
+  let flush () =
+    match !cur with
+    | None -> ()
+    | Some (label, faulty, acc) ->
+        runs := { label; faulty; events = List.rev acc } :: !runs;
+        cur := None
+  in
+  List.iter
+    (fun e ->
+      match (e : Event.t) with
+      | Run_start { label; faulty } ->
+          flush ();
+          cur := Some (label, faulty, [])
+      | e -> (
+          match !cur with
+          | Some (label, faulty, acc) -> cur := Some (label, faulty, e :: acc)
+          | None ->
+              (* tolerate traces without a Run_start header *)
+              cur := Some ("run", false, [ e ])))
+    events;
+  flush ();
+  List.rev !runs
+
+let run_max_round r =
+  List.fold_left
+    (fun m (e : Event.t) ->
+      match e with
+      | Round_end { round } | Round_start { round } -> max m round
+      | Deliver { round; _ } | Drop { round; _ } -> max m round
+      | Delay { deliver_round; _ } -> max m deliver_round
+      | _ -> m)
+    0 r.events
+
+let max_node r =
+  List.fold_left
+    (fun m (e : Event.t) ->
+      match e with
+      | Send { src; dst; _ }
+      | Deliver { src; dst; _ }
+      | Drop { src; dst; _ }
+      | Duplicate { src; dst; _ }
+      | Delay { src; dst; _ }
+      | Retransmit { src; dst; _ }
+      | Ack { src; dst; _ } ->
+          max m (max src dst)
+      | Crash { node; _ }
+      | Restart { node; _ }
+      | Crash_window { node; _ }
+      | Checkpoint { node; _ }
+      | Recovery_resync { node; _ } ->
+          max m node
+      | Run_start _ | Round_start _ | Round_end _ -> m)
+    (-1) r.events
+
+(* ------------------------------------------------------------- Chrome *)
+
+(* One synthetic microsecond-scale tick per round keeps slices readable
+   in Perfetto regardless of real wall time. *)
+let tick = 1000
+
+let write_chrome ~path events =
+  let runs = split_runs events in
+  let nodes = List.fold_left (fun m r -> max m (max_node r)) (-1) runs + 1 in
+  let rounds_tid = max nodes 1 in
+  with_out path (fun oc ->
+      let first = ref true in
+      let obj fmt =
+        Printf.ksprintf
+          (fun s ->
+            if !first then first := false else output_string oc ",\n";
+            output_string oc s)
+          fmt
+      in
+      output_string oc "[\n";
+      obj {|{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"congest"}}|};
+      for v = 0 to nodes - 1 do
+        obj {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"node %d"}}|} v v
+      done;
+      obj {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"rounds"}}|}
+        rounds_tid;
+      let base = ref 0 in
+      let flow_id = ref 0 in
+      List.iter
+        (fun r ->
+          let span = (run_max_round r + 2) * tick in
+          let ts round = !base + (round * tick) in
+          obj {|{"name":"%s%s","cat":"run","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}|}
+            (Event.json_escape r.label)
+            (if r.faulty then " [faulty]" else "")
+            !base span rounds_tid;
+          (* flow ids keyed by (send_round, src, dst): unique within a
+             run because the engine forbids two same-direction messages
+             per round *)
+          let ids : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+          List.iter
+            (fun (e : Event.t) ->
+              match e with
+              | Run_start _ -> ()
+              | Round_start _ | Round_end _ -> ()
+              | Send { round; src; dst; words } ->
+                  incr flow_id;
+                  Hashtbl.replace ids (round, src, dst) !flow_id;
+                  obj
+                    {|{"name":"send %d>%d","cat":"msg","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"round":%d,"words":%d}}|}
+                    src dst (ts round) (tick / 2) src round words;
+                  obj
+                    {|{"name":"msg","cat":"msg","ph":"s","id":%d,"ts":%d,"pid":0,"tid":%d}|}
+                    !flow_id
+                    (ts round + (tick / 4))
+                    src
+              | Deliver { send_round; round; src; dst; words } ->
+                  obj
+                    {|{"name":"recv %d>%d","cat":"msg","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"send_round":%d,"words":%d}}|}
+                    src dst (ts round) (tick / 2) dst send_round words;
+                  (match Hashtbl.find_opt ids (send_round, src, dst) with
+                  | Some id ->
+                      obj
+                        {|{"name":"msg","cat":"msg","ph":"f","bp":"e","id":%d,"ts":%d,"pid":0,"tid":%d}|}
+                        id
+                        (ts round + (tick / 4))
+                        dst
+                  | None -> ())
+              | Drop { send_round; round; src; dst; reason; _ } ->
+                  obj
+                    {|{"name":"drop %d>%d (%s)","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"send_round":%d}}|}
+                    src dst
+                    (match reason with Link -> "link" | Receiver_down -> "receiver-down")
+                    (ts round) (match reason with Link -> src | Receiver_down -> dst)
+                    send_round
+              | Duplicate { round; src; dst; copies } ->
+                  obj
+                    {|{"name":"dup %d>%d x%d","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    src dst copies (ts round) src
+              | Delay { round; src; dst; deliver_round } ->
+                  obj
+                    {|{"name":"delay %d>%d +%d","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    src dst
+                    (deliver_round - round - 1)
+                    (ts round) src
+              | Retransmit { round; src; dst; seq } ->
+                  obj
+                    {|{"name":"rtx %d>%d #%d","cat":"transport","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    src dst seq (ts round) src
+              | Ack { round; src; dst; seq } ->
+                  obj
+                    {|{"name":"ack %d>%d #%d","cat":"transport","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    src dst seq (ts round) src
+              | Crash { round; node } ->
+                  obj
+                    {|{"name":"crash","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    (ts round) node
+              | Restart { round; node } ->
+                  obj
+                    {|{"name":"restart","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    (ts round) node
+              | Crash_window { node; from_round; until_round; amnesia } ->
+                  let until = match until_round with Some u -> u | None -> run_max_round r + 1 in
+                  obj
+                    {|{"name":"%s","cat":"fault","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}|}
+                    (if amnesia then "crashed (amnesia)" else "crashed (freeze)")
+                    (ts from_round)
+                    (max tick ((until - from_round) * tick))
+                    node
+              | Checkpoint { round; node; words } ->
+                  obj
+                    {|{"name":"checkpoint %dw","cat":"recovery","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    words (ts round) node
+              | Recovery_resync { round; node } ->
+                  obj
+                    {|{"name":"resync done","cat":"recovery","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    (ts round) node)
+            r.events;
+          base := !base + span + tick)
+        runs;
+      output_string oc "\n]\n")
+
+(* ---------------------------------------------------------------- CSV *)
+
+type edge_stats = {
+  mutable sent : int;
+  mutable words : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable retransmits : int;
+}
+
+let write_congestion_csv ~path events =
+  let runs = split_runs events in
+  with_out path (fun oc ->
+      output_string oc "run,label,src,dst,sent,words,delivered,dropped,retransmits\n";
+      List.iteri
+        (fun i r ->
+          let tbl : (int * int, edge_stats) Hashtbl.t = Hashtbl.create 64 in
+          let stats src dst =
+            match Hashtbl.find_opt tbl (src, dst) with
+            | Some s -> s
+            | None ->
+                let s = { sent = 0; words = 0; delivered = 0; dropped = 0; retransmits = 0 } in
+                Hashtbl.replace tbl (src, dst) s;
+                s
+          in
+          List.iter
+            (fun (e : Event.t) ->
+              match e with
+              | Send { src; dst; words; _ } ->
+                  let s = stats src dst in
+                  s.sent <- s.sent + 1;
+                  s.words <- s.words + words
+              | Deliver { src; dst; _ } ->
+                  let s = stats src dst in
+                  s.delivered <- s.delivered + 1
+              | Drop { src; dst; _ } ->
+                  let s = stats src dst in
+                  s.dropped <- s.dropped + 1
+              | Retransmit { src; dst; _ } ->
+                  let s = stats src dst in
+                  s.retransmits <- s.retransmits + 1
+              | _ -> ())
+            r.events;
+          let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+          let rows =
+            List.sort
+              (fun ((s1, d1), a) ((s2, d2), b) ->
+                let c = Int.compare b.words a.words in
+                if c <> 0 then c
+                else
+                  let c = Int.compare s1 s2 in
+                  if c <> 0 then c else Int.compare d1 d2)
+              rows
+          in
+          List.iter
+            (fun ((src, dst), s) ->
+              Printf.fprintf oc "%d,%s,%d,%d,%d,%d,%d,%d,%d\n" i r.label src dst s.sent
+                s.words s.delivered s.dropped s.retransmits)
+            rows)
+        runs)

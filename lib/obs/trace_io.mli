@@ -1,0 +1,26 @@
+(** Trace export/import.
+
+    JSONL is the canonical on-disk format ([--trace] output, read back
+    by [--replay] and [trace_cli]); the Chrome trace-event JSON loads
+    in Perfetto / chrome://tracing with one track per node and message
+    arrows as flow events; the CSV aggregates per-edge congestion. *)
+
+type run = { label : string; faulty : bool; events : Event.t list }
+(** One [Engine.run] section of a trace; [events] excludes the leading
+    [Run_start]. *)
+
+val split_runs : Event.t list -> run list
+(** Partition a trace at its [Run_start] markers (a headerless prefix
+    becomes a synthetic non-faulty run). *)
+
+val run_max_round : run -> int
+val max_node : run -> int
+
+val write_jsonl : path:string -> Event.t list -> unit
+
+val read_jsonl : path:string -> Event.t list
+(** Raises [Event.Parse_error] on malformed lines and [Sys_error] on
+    I/O failure. Blank lines are skipped. *)
+
+val write_chrome : path:string -> Event.t list -> unit
+val write_congestion_csv : path:string -> Event.t list -> unit

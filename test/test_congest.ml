@@ -1025,6 +1025,29 @@ let test_diameter_two_approx_bounds () =
       check_bool "cheap" true (Metrics.rounds m <= (6 * exact) + 10))
     [ Generators.cycle 20; Generators.grid 5 5; Generators.k_tree ~seed:3 50 3 ]
 
+(* ------------------------------------------------------------------ *)
+(* Round-count regression guard: exact rounds and messages on one fixed
+   seeded partial k-tree. Fault-free runs are fully deterministic, so
+   any drift here means the engine's round structure (or an algorithm's
+   communication pattern) changed — bump deliberately, not silently. *)
+
+let test_round_count_regression_guard () =
+  let g = Generators.partial_k_tree ~seed:11 32 3 ~keep:0.6 in
+  let gw = Generators.random_weights ~seed:11 ~max_weight:9 g in
+  let m = Metrics.create () in
+  let t = Bfs_tree.build g ~root:0 ~metrics:m in
+  check_int "bfs-tree rounds" 6 (Metrics.rounds m);
+  check_int "bfs-tree messages" 128 (Metrics.messages m);
+  check_int "bfs-tree depth" 4 t.Bfs_tree.depth;
+  let m = Metrics.create () in
+  let (_ : int array) = Bellman_ford.run gw ~source:0 ~metrics:m in
+  check_int "bellman-ford rounds" 8 (Metrics.rounds m);
+  check_int "bellman-ford messages" 237 (Metrics.messages m);
+  let m = Metrics.create () in
+  let (_ : int array) = Broadcast.flood g ~root:0 ~value:7 ~metrics:m in
+  check_int "flood rounds" 6 (Metrics.rounds m);
+  check_int "flood messages" 128 (Metrics.messages m)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -1130,6 +1153,10 @@ let () =
           Alcotest.test_case "flood components" `Quick test_flood_components_match_centralized;
           Alcotest.test_case "multi bfs exact" `Quick test_multi_bfs_exact;
           Alcotest.test_case "multi bfs scheduling" `Quick test_multi_bfs_scheduling_beats_sequential;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "pinned round counts" `Quick test_round_count_regression_guard;
         ] );
       ("properties", qsuite);
     ]

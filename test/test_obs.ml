@@ -1,0 +1,356 @@
+(* Observability layer (lib/obs): event serialization, the ring-buffer
+   recorder, zero-overhead-when-disabled, trace/metrics reconciliation,
+   deterministic record/replay, and the critical-path analyzer. *)
+
+module Digraph = Repro_graph.Digraph
+module Traversal = Repro_graph.Traversal
+module Shortest_path = Repro_graph.Shortest_path
+module Generators = Repro_graph.Generators
+module Metrics = Repro_congest.Metrics
+module Engine = Repro_congest.Engine
+module Fault = Repro_congest.Fault
+module Recovery = Repro_congest.Recovery
+module Bfs_tree = Repro_congest.Bfs_tree
+module Bellman_ford = Repro_congest.Bellman_ford
+module Broadcast = Repro_congest.Broadcast
+module Event = Repro_obs.Event
+module Sink = Repro_obs.Sink
+module Recorder = Repro_obs.Recorder
+module Trace_io = Repro_obs.Trace_io
+module Replay = Repro_obs.Replay
+module Critical_path = Repro_obs.Critical_path
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* every engine run in this suite is audited, like the rest of tier-1 *)
+let () = Engine.audit_enabled := true
+
+(* run [f] with a fresh recorder installed as the engine's trace sink;
+   returns (result of f, recorded events) *)
+let with_recorder f =
+  let r = Recorder.create () in
+  Engine.trace_sink := Recorder.sink r;
+  let result =
+    Fun.protect ~finally:(fun () -> Engine.trace_sink := Sink.null) (fun () -> f ())
+  in
+  (result, Recorder.to_list r)
+
+(* ------------------------------------------------------------------ *)
+(* Event JSON *)
+
+let sample_events : Event.t list =
+  [
+    Run_start { label = "bfs \"quoted\"\nline"; faulty = true };
+    Round_start { round = 0 };
+    Round_end { round = 7 };
+    Send { round = 1; src = 2; dst = 3; words = 4 };
+    Deliver { send_round = 1; round = 2; src = 2; dst = 3; words = 4 };
+    Drop { send_round = 1; round = 1; src = 0; dst = 9; words = 1; reason = Link };
+    Drop { send_round = 1; round = 3; src = 0; dst = 9; words = 1; reason = Receiver_down };
+    Duplicate { round = 5; src = 1; dst = 2; copies = 2 };
+    Delay { round = 5; src = 1; dst = 2; deliver_round = 8 };
+    Retransmit { round = 6; src = 4; dst = 5; seq = 11 };
+    Ack { round = 7; src = 4; dst = 5; seq = 11 };
+    Crash { round = 3; node = 6 };
+    Restart { round = 9; node = 6 };
+    Crash_window { node = 6; from_round = 3; until_round = Some 9; amnesia = true };
+    Crash_window { node = 7; from_round = 2; until_round = None; amnesia = false };
+    Checkpoint { round = 4; node = 1; words = 17 };
+    Recovery_resync { round = 10; node = 6 };
+  ]
+
+let test_event_json_roundtrip () =
+  List.iter
+    (fun e ->
+      let line = Event.to_json e in
+      check_bool (Printf.sprintf "roundtrip %s" line) true (Event.of_json line = e))
+    sample_events;
+  (match Event.of_json "{broken" with
+  | exception Event.Parse_error _ -> ()
+  | _ -> Alcotest.fail "malformed line should raise Parse_error");
+  match Event.of_json {|{"e":"warp","round":1}|} with
+  | exception Event.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unknown event kind should raise Parse_error"
+
+let test_trace_io_jsonl_roundtrip () =
+  let path = Filename.temp_file "repro_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.write_jsonl ~path sample_events;
+      check_bool "jsonl roundtrip" true (Trace_io.read_jsonl ~path = sample_events))
+
+(* ------------------------------------------------------------------ *)
+(* Recorder *)
+
+let test_recorder_grows () =
+  let r = Recorder.create () in
+  for i = 0 to 9_999 do
+    Recorder.record r (Event.Round_end { round = i })
+  done;
+  check_int "length" 10_000 (Recorder.length r);
+  check_int "nothing overwritten" 0 (Recorder.overwritten r);
+  match Recorder.to_list r with
+  | Event.Round_end { round = 0 } :: _ -> ()
+  | _ -> Alcotest.fail "oldest event should be first"
+
+let test_recorder_wraps_at_capacity () =
+  let r = Recorder.create ~capacity:256 () in
+  for i = 0 to 999 do
+    Recorder.record r (Event.Round_end { round = i })
+  done;
+  check_int "bounded" 256 (Recorder.length r);
+  check_int "overwritten count" (1000 - 256) (Recorder.overwritten r);
+  (match Recorder.to_list r with
+  | Event.Round_end { round } :: _ -> check_int "keeps the newest window" 744 round
+  | _ -> Alcotest.fail "unexpected head");
+  Recorder.clear r;
+  check_int "clear" 0 (Recorder.length r)
+
+(* ------------------------------------------------------------------ *)
+(* Zero overhead when disabled: identical Metrics with and without a
+   sink, including the per-label (round-for-round) breakdown. *)
+
+let faulty_pipeline () =
+  let g = Generators.partial_k_tree ~seed:42 28 3 ~keep:0.6 in
+  let gw = Generators.random_weights ~seed:42 ~max_weight:9 g in
+  let profile =
+    Fault.profile ~drop:0.15 ~duplicate:0.1 ~max_delay:2
+      ~crashes:[ Fault.crash 3 ~from:2 ~until:12 ~mode:Fault.Amnesia ]
+      ()
+  in
+  let m = Metrics.create () in
+  let t =
+    Bfs_tree.build
+      ~faults:(Fault.create ~seed:7 profile)
+      ~recovery:{ Recovery.checkpoint_every = 4 } g ~root:0 ~metrics:m
+  in
+  let d =
+    Bellman_ford.run
+      ~faults:(Fault.create ~seed:8 profile)
+      ~recovery:{ Recovery.checkpoint_every = 4 } gw ~source:0 ~metrics:m
+  in
+  (t.Bfs_tree.dist, d, m)
+
+let test_tracing_off_vs_on_identical_metrics () =
+  let dist_off, d_off, m_off = faulty_pipeline () in
+  let (dist_on, d_on, m_on), events = with_recorder faulty_pipeline in
+  check_bool "bfs output unchanged" true (dist_off = dist_on);
+  check_bool "sssp output unchanged" true (d_off = d_on);
+  check_string "metrics identical byte-for-byte (incl. per-label rounds)"
+    (Metrics.to_json m_off) (Metrics.to_json m_on);
+  check_bool "trace actually recorded" true (List.length events > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: trace event counts reconcile exactly with Metrics. *)
+
+let count pred events = List.fold_left (fun n e -> if pred e then n + 1 else n) 0 events
+
+let sum f events = List.fold_left (fun n e -> n + f e) 0 events
+
+let reconcile_with_metrics (m : Metrics.t) events =
+  check_int "Send events = messages" (Metrics.messages m)
+    (count (function Event.Send _ -> true | _ -> false) events);
+  check_int "Send words = words" (Metrics.words m)
+    (sum (function Event.Send { words; _ } -> words | _ -> 0) events);
+  check_int "Deliver events = delivered" (Metrics.delivered m)
+    (count (function Event.Deliver _ -> true | _ -> false) events);
+  check_int "Drop events = dropped" (Metrics.dropped m)
+    (count (function Event.Drop _ -> true | _ -> false) events);
+  check_int "Duplicate extra copies = duplicated" (Metrics.duplicated m)
+    (sum (function Event.Duplicate { copies; _ } -> copies - 1 | _ -> 0) events);
+  check_int "Retransmit events = retransmissions" (Metrics.retransmissions m)
+    (count (function Event.Retransmit _ -> true | _ -> false) events);
+  check_int "Checkpoint events = checkpoints" (Metrics.checkpoints m)
+    (count (function Event.Checkpoint _ -> true | _ -> false) events);
+  check_int "Checkpoint words = checkpoint_words" (Metrics.checkpoint_words m)
+    (sum (function Event.Checkpoint { words; _ } -> words | _ -> 0) events);
+  check_int "Round_end events = rounds" (Metrics.rounds m)
+    (count (function Event.Round_end _ -> true | _ -> false) events)
+
+let prop_trace_reconciles_with_metrics =
+  QCheck.Test.make
+    ~name:"trace event counts = Metrics counters for any seeded fault profile" ~count:25
+    QCheck.(
+      quad (int_range 0 1000) (int_range 8 24) (int_range 2 3) (int_range 0 40))
+    (fun (seed, n, k, drop_pct) ->
+      let g = Generators.partial_k_tree ~seed n k ~keep:0.6 in
+      let profile =
+        Fault.profile
+          ~drop:(float_of_int drop_pct /. 100.0)
+          ~duplicate:0.15 ~max_delay:2
+          ~crashes:[ Fault.crash (seed mod n) ~from:2 ~until:10 ~mode:Fault.Amnesia ]
+          ()
+      in
+      let (m, dist_ok), events =
+        with_recorder (fun () ->
+            let m = Metrics.create () in
+            let root = (seed + 1) mod n in
+            let t =
+              Bfs_tree.build
+                ~faults:(Fault.create ~seed:(seed + 5) profile)
+                ~recovery:{ Recovery.checkpoint_every = 3 } g ~root ~metrics:m
+            in
+            (m, t.Bfs_tree.dist = Traversal.bfs_undirected g root))
+      in
+      reconcile_with_metrics m events;
+      dist_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance criterion: deterministic record/replay. A run recorded
+   under a random seeded adversary, replayed through Engine.run with a
+   scripted adversary rebuilt from the trace alone, reproduces outputs
+   and Metrics byte-for-byte. *)
+
+let scripted_of_trace events =
+  let r = Replay.of_events events in
+  let crashes =
+    List.map
+      (fun (w : Replay.crash_window) ->
+        Fault.crash w.node ~from:w.from_round ?until:w.until_round
+          ~mode:(if w.amnesia then Fault.Amnesia else Fault.Freeze))
+      (Replay.crashes r)
+  in
+  Fault.scripted ~crashes (Replay.plan r)
+
+let prop_replay_determinism =
+  QCheck.Test.make
+    ~name:"record/replay reproduces outputs and Metrics byte-for-byte" ~count:25
+    QCheck.(
+      quad (int_range 0 1000) (int_range 8 24) (int_range 0 40) (int_range 0 4))
+    (fun (seed, n, drop_pct, interval) ->
+      let g = Generators.partial_k_tree ~seed n 3 ~keep:0.6 in
+      let gw = Generators.random_weights ~seed ~max_weight:9 g in
+      let profile =
+        Fault.profile
+          ~drop:(float_of_int drop_pct /. 100.0)
+          ~duplicate:0.2 ~max_delay:2
+          ~crashes:[ Fault.crash (seed mod n) ~from:3 ~until:11 ~mode:Fault.Amnesia ]
+          ()
+      in
+      let recovery = { Recovery.checkpoint_every = interval } in
+      let root = (seed + 2) mod n in
+      (* two engine runs under ONE adversary instance, like the CLIs do:
+         exercises the per-run sectioning of the schedule *)
+      let execute faults =
+        let m = Metrics.create () in
+        let t = Bfs_tree.build ~faults ~recovery g ~root ~metrics:m in
+        let d = Bellman_ford.run ~faults ~recovery gw ~source:root ~metrics:m in
+        (t.Bfs_tree.dist, d, Metrics.to_json m)
+      in
+      let recorded, events =
+        with_recorder (fun () -> execute (Fault.create ~seed:(seed + 9) profile))
+      in
+      let replayed = execute (scripted_of_trace events) in
+      recorded = replayed)
+
+let test_replay_divergence_raises () =
+  (* replaying a trace against a different execution must fail loudly,
+     not silently produce garbage *)
+  let g = Generators.k_tree ~seed:3 12 2 in
+  let profile = Fault.profile ~drop:0.3 () in
+  let _, events =
+    with_recorder (fun () ->
+        let m = Metrics.create () in
+        Bfs_tree.build ~faults:(Fault.create ~seed:4 profile) ~reliable:true g ~root:0
+          ~metrics:m)
+  in
+  let other = Generators.k_tree ~seed:99 16 3 in
+  match
+    let m = Metrics.create () in
+    Bfs_tree.build ~faults:(scripted_of_trace events) ~reliable:true other ~root:0 ~metrics:m
+  with
+  | exception Replay.Divergence _ -> ()
+  | _ -> Alcotest.fail "expected Replay.Divergence on a mismatched execution"
+
+(* ------------------------------------------------------------------ *)
+(* Critical path *)
+
+let test_critical_path_flood_on_path () =
+  let g = Generators.path 7 in
+  let _, events =
+    with_recorder (fun () ->
+        let m = Metrics.create () in
+        Broadcast.flood g ~root:0 ~value:9 ~metrics:m)
+  in
+  match Critical_path.analyze_all events with
+  | [ r ] ->
+      (* the flood's longest dependency chain is the hop path to the far
+         end (6 messages) plus the far node's forward-back echo to its
+         own neighbors, and it must be strictly causal *)
+      check_int "chain length = eccentricity + 1" 7 (Critical_path.chain_length r);
+      let rec causal = function
+        | (a : Critical_path.link) :: (b :: _ as rest) ->
+            check_bool "delivered before next send" true (a.deliver_round <= b.send_round);
+            check_bool "send precedes delivery" true (a.send_round < a.deliver_round);
+            causal rest
+        | [ (a : Critical_path.link) ] ->
+            check_bool "send precedes delivery" true (a.send_round < a.deliver_round)
+        | [] -> ()
+      in
+      causal r.Critical_path.chain;
+      check_bool "lower bound holds" true (Critical_path.chain_length r <= r.Critical_path.rounds)
+  | rs -> Alcotest.fail (Printf.sprintf "expected one run section, got %d" (List.length rs))
+
+let test_congestion_csv_and_chrome_export () =
+  let g = Generators.k_tree ~seed:11 14 2 in
+  let _, events =
+    with_recorder (fun () ->
+        let m = Metrics.create () in
+        Bfs_tree.build
+          ~faults:(Fault.create ~seed:12 (Fault.profile ~drop:0.2 ()))
+          ~reliable:true g ~root:0 ~metrics:m)
+  in
+  let csv = Filename.temp_file "repro_obs" ".csv" in
+  let chrome = Filename.temp_file "repro_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove csv;
+      Sys.remove chrome)
+    (fun () ->
+      Trace_io.write_congestion_csv ~path:csv events;
+      Trace_io.write_chrome ~path:chrome events;
+      let ic = open_in csv in
+      let header = input_line ic in
+      close_in ic;
+      check_string "csv header" "run,label,src,dst,sent,words,delivered,dropped,retransmits"
+        header;
+      let ic = open_in chrome in
+      let first = input_line ic in
+      close_in ic;
+      check_string "chrome json array" "[" first)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "repro_obs"
+    [
+      ( "events",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_event_json_roundtrip;
+          Alcotest.test_case "jsonl file roundtrip" `Quick test_trace_io_jsonl_roundtrip;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "grows" `Quick test_recorder_grows;
+          Alcotest.test_case "wraps at capacity" `Quick test_recorder_wraps_at_capacity;
+        ] );
+      ( "zero overhead",
+        [
+          Alcotest.test_case "tracing off vs on: identical metrics" `Quick
+            test_tracing_off_vs_on_identical_metrics;
+        ] );
+      ( "reconciliation",
+        [ q prop_trace_reconciles_with_metrics ] );
+      ( "replay",
+        [
+          q prop_replay_determinism;
+          Alcotest.test_case "divergence raises" `Quick test_replay_divergence_raises;
+        ] );
+      ( "critical path",
+        [
+          Alcotest.test_case "flood on a path" `Quick test_critical_path_flood_on_path;
+          Alcotest.test_case "csv + chrome export" `Quick test_congestion_csv_and_chrome_export;
+        ] );
+    ]
