@@ -1,0 +1,7 @@
+(* A per-node protocol whose [step] reaches State.table via Helper:
+   nodes would share information outside the charged message path. *)
+
+let run graph =
+  let init _node = 0 in
+  let step node st _inbox = st + Helper.consult node in
+  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)

@@ -1,0 +1,3 @@
+(* Innocent-looking indirection: the escape is two calls deep. *)
+
+let consult v = match State.lookup v with Some d -> d | None -> 0

@@ -1,0 +1,5 @@
+(* Seeded violation (node-locality): a module-level mutable table.
+   Parsed by test_lint only — never compiled. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+let lookup v = Hashtbl.find_opt table v

@@ -1,0 +1,10 @@
+(* Clean twin of node_locality_bad: per-node state lives in the node's
+   own accumulator, created in [init] and threaded through [step]. *)
+
+let run graph =
+  let init _node = State.make () in
+  let step node st _inbox =
+    ignore (Helper.consult st node);
+    st
+  in
+  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)

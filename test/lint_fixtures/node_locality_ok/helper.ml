@@ -1,0 +1,3 @@
+(* Same indirection as the bad twin, but the table is a parameter. *)
+
+let consult t v = State.lookup t v

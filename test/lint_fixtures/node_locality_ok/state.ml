@@ -1,0 +1,5 @@
+(* Clean twin: the table is created per node and threaded explicitly,
+   so no per-node code can reach another node's state. *)
+
+let make () = Hashtbl.create 16
+let lookup t v = match Hashtbl.find_opt t v with Some d -> d | None -> 0

@@ -1,0 +1,7 @@
+(* Clean twin of send_discipline_bad: the step only computes over its
+   inbox and returns; all accounting stays inside the engine. *)
+
+let run graph =
+  let init _node = 0 in
+  let step _node st inbox = st + List.length inbox in
+  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)

@@ -1,8 +1,13 @@
 (* Unit tests for the model-compliance lint (tools/lint): one positive
-   and one negative fixture per rule, scoping, and the baseline
-   workflow (suppression, exact counts, stale detection). *)
+   and one negative fixture per rule, scoping, the interprocedural pass
+   (call graph, effect summaries, node-locality / send-discipline), and
+   the baseline workflow (suppression, exact counts, stale detection,
+   --update-baseline rendering). *)
 
 module Lint = Repro_lint.Lint_core
+module Interproc = Repro_lint.Interproc
+module Cg = Repro_lint.Callgraph
+module Effects = Repro_lint.Effects
 
 let () = Repro_congest.Engine.audit_enabled := true
 
@@ -102,6 +107,215 @@ let test_rule_list_is_consistent () =
     Lint.rules
 
 (* ------------------------------------------------------------------ *)
+(* Interprocedural pass: call graph, effects, locality/send rules *)
+
+(* parse a set of (file, source) pairs and run every interprocedural rule *)
+let interproc sources =
+  Interproc.analyze
+    (List.map
+       (fun (file, src) ->
+         match Lint.parse_source ~file src with
+         | Ok s -> (file, s)
+         | Error msg -> Alcotest.failf "fixture %s did not parse: %s" file msg)
+       sources)
+
+let interproc_findings sources = snd (interproc sources)
+
+let has_finding rule substring fs =
+  List.exists
+    (fun (f : Lint.finding) ->
+      f.Lint.rule = rule
+      &&
+      let msg = f.Lint.message and n = String.length substring in
+      let rec at i = i + n <= String.length msg && (String.sub msg i n = substring || at (i + 1)) in
+      at 0)
+    fs
+
+(* the three-file escape: algo's step -> Helper.consult -> State.lookup
+   -> State.table, a module-level Hashtbl *)
+let escape_sources =
+  [
+    ("fx/state.ml", "let table = Hashtbl.create 16\nlet lookup v = Hashtbl.find_opt table v");
+    ("fx/helper.ml", "let consult v = match State.lookup v with Some d -> d | None -> 0");
+    ( "fx/algo.ml",
+      "let run graph =\n\
+      \  let init _node = 0 in\n\
+      \  let step node st _inbox = st + Helper.consult node in\n\
+      \  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)" );
+  ]
+
+let test_interproc_escape_chain () =
+  let fs = interproc_findings escape_sources in
+  check_bool "node-locality fires" true (has_finding "node-locality" "State.table" fs);
+  (* the full reachability chain is printed, not just the endpoint *)
+  check_bool "chain printed" true
+    (has_finding "node-locality" "step -> Helper.consult -> State.lookup -> State.table" fs);
+  (* the finding anchors at the callback site in algo.ml *)
+  check_bool "anchored at callback" true
+    (List.for_all (fun (f : Lint.finding) -> f.Lint.file = "fx/algo.ml") fs)
+
+let test_interproc_clean_twin () =
+  (* same shape, but the table is created in init and threaded through *)
+  let fs =
+    interproc_findings
+      [
+        ( "fx/state.ml",
+          "let make () = Hashtbl.create 16\nlet lookup t v = Hashtbl.find_opt t v" );
+        ("fx/helper.ml", "let consult t v = State.lookup t v");
+        ( "fx/algo.ml",
+          "let run graph =\n\
+          \  let init _node = State.make () in\n\
+          \  let step node st _inbox = ignore (Helper.consult st node); st in\n\
+          \  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)" );
+      ]
+  in
+  check_int "clean twin has no findings" 0 (List.length fs)
+
+let test_interproc_send_discipline () =
+  let fs =
+    interproc_findings
+      [
+        ( "fx/algo.ml",
+          "let run graph m =\n\
+          \  let init _node = 0 in\n\
+          \  let step _node st inbox = Metrics.add_words m (List.length inbox); st in\n\
+          \  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)" );
+      ]
+  in
+  check_bool "send-discipline fires" true (has_finding "send-discipline" "Metrics.add_words" fs);
+  let clean =
+    interproc_findings
+      [
+        ( "fx/algo.ml",
+          "let run graph =\n\
+          \  let init _node = 0 in\n\
+          \  let step _node st inbox = st + List.length inbox in\n\
+          \  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)" );
+      ]
+  in
+  check_int "clean twin has no findings" 0 (List.length clean)
+
+let test_interproc_wrapped_metrics_path () =
+  (* library-wrapper qualification still matches the Metrics charge *)
+  let fs =
+    interproc_findings
+      [
+        ( "fx/algo.ml",
+          "let run graph m =\n\
+          \  let init _node = 0 in\n\
+          \  let step _node st _inbox = Repro_congest.Metrics.add_messages m 1; st in\n\
+          \  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)" );
+      ]
+  in
+  check_bool "wrapped path flagged" true
+    (has_finding "send-discipline" "Repro_congest.Metrics.add_messages" fs)
+
+let test_interproc_alias_resolution () =
+  (* a module alias must not launder the reference *)
+  let fs =
+    interproc_findings
+      [
+        ("fx/state.ml", "let table = Hashtbl.create 16\nlet lookup v = Hashtbl.find_opt table v");
+        ( "fx/algo.ml",
+          "module S = State\n\
+           let run graph =\n\
+          \  let init _node = 0 in\n\
+          \  let step node st _inbox = ignore (S.lookup node); st in\n\
+          \  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)" );
+      ]
+  in
+  check_bool "alias resolved" true (has_finding "node-locality" "State.table" fs)
+
+let test_interproc_non_callback_is_exempt () =
+  (* module-level globals are fine for coordinator-side code: only
+     per-node callbacks are confined *)
+  let fs =
+    interproc_findings
+      [
+        ("fx/state.ml", "let table = Hashtbl.create 16\nlet lookup v = Hashtbl.find_opt table v");
+        ("fx/main.ml", "let report () = State.lookup 0");
+      ]
+  in
+  check_int "coordinator code unflagged" 0 (List.length fs)
+
+let test_callgraph_shape () =
+  let cg, _ = interproc escape_sources in
+  check_int "three files" 3 (List.length cg.Cg.files);
+  (* the callback site was collected with its labels *)
+  let labels = List.map (fun cb -> cb.Cg.cb_label) cg.Cg.callbacks in
+  check_bool "init collected" true (List.mem "init" labels);
+  check_bool "step collected" true (List.mem "step" labels);
+  (* cross-file edge: helper.ml#consult calls state.ml#lookup *)
+  match Cg.find cg { Cg.s_file = "fx/helper.ml"; s_path = "consult" } with
+  | None -> Alcotest.fail "consult not in the graph"
+  | Some b ->
+      check_bool "cross-file call resolved" true
+        (List.exists
+           (fun (s : Cg.sym) -> s.Cg.s_file = "fx/state.ml" && s.Cg.s_path = "lookup")
+           b.Cg.calls)
+
+let test_effect_summaries () =
+  let cg, _ =
+    interproc
+      [
+        ( "fx/state.ml",
+          "let counter = ref 0\nlet bump () = incr counter\nlet read () = !counter" );
+        ("fx/mid.ml", "let tick () = State.bump ()");
+        ("fx/io.ml", "let log msg = print_endline msg\nlet boom () = failwith \"boom\"");
+      ]
+  in
+  let eff = Effects.summarize cg in
+  let summary file path =
+    match Effects.find eff { Cg.s_file = file; s_path = path } with
+    | Some s -> s
+    | None -> Alcotest.failf "no summary for %s#%s" file path
+  in
+  (* direct effects *)
+  check_bool "bump mutates" false (Cg.Sym_set.is_empty (summary "fx/state.ml" "bump").Effects.mutates_global);
+  check_bool "read reads" false (Cg.Sym_set.is_empty (summary "fx/state.ml" "read").Effects.reads_global);
+  check_bool "log does io" true (summary "fx/io.ml" "log").Effects.performs_io;
+  check_bool "boom raises" true (summary "fx/io.ml" "boom").Effects.raises_untyped;
+  (* transitive closure across files *)
+  check_bool "tick mutates transitively" false
+    (Cg.Sym_set.is_empty (summary "fx/mid.ml" "tick").Effects.mutates_global);
+  (* and the JSON report mentions the symbol *)
+  let json = Effects.to_json cg eff in
+  check_bool "json has symbol" true
+    (let n = String.length "fx/state.ml#counter" in
+     let rec at i =
+       i + n <= String.length json
+       && (String.sub json i n = "fx/state.ml#counter" || at (i + 1))
+     in
+     at 0)
+
+(* ------------------------------------------------------------------ *)
+(* On-disk fixture directories: the seeded-violation corpus *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fixture_dir name =
+  let dir = Filename.concat "lint_fixtures" name in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.sort String.compare
+  |> List.map (fun f ->
+         let path = Filename.concat dir f in
+         (path, read_file path))
+
+let test_fixture_corpus () =
+  let rules_in name = List.map (fun (f : Lint.finding) -> f.Lint.rule)
+      (interproc_findings (fixture_dir name)) in
+  check_bool "node_locality_bad flagged" true (List.mem "node-locality" (rules_in "node_locality_bad"));
+  check_int "node_locality_ok clean" 0 (List.length (rules_in "node_locality_ok"));
+  check_bool "send_discipline_bad flagged" true
+    (List.mem "send-discipline" (rules_in "send_discipline_bad"));
+  check_int "send_discipline_ok clean" 0 (List.length (rules_in "send_discipline_ok"))
+
+(* ------------------------------------------------------------------ *)
 (* Baseline workflow *)
 
 let two_aborts = "let f () = failwith \"a\"\nlet g () = failwith \"b\""
@@ -170,6 +384,47 @@ let test_parse_error_is_reported () =
   check_bool "syntax error surfaces" true
     (Result.is_error (Lint.lint_source ~file:"lib/broken.ml" "let let let"))
 
+(* --update-baseline rendering: keep justifications, mark new groups,
+   drop groups with no remaining findings *)
+
+let test_render_baseline_keeps_justifications () =
+  let fs = findings two_aborts in
+  let old =
+    [
+      {
+        Lint.b_rule = "lib-abort";
+        b_file = "lib/congest/fixture.ml";
+        count = 1;
+        justification = "documented why";
+      };
+      { Lint.b_rule = "hashtbl-order"; b_file = "lib/gone.ml"; count = 3; justification = "stale" };
+    ]
+  in
+  match Lint.parse_baseline (Lint.render_baseline ~old fs) with
+  | Error msgs -> Alcotest.failf "rendered baseline does not parse: %s" (String.concat "; " msgs)
+  | Ok [ e ] ->
+      Alcotest.(check string) "rule" "lib-abort" e.Lint.b_rule;
+      check_int "count refreshed" 2 e.Lint.count;
+      (* the human-written why survives the rewrite; the vanished group is gone *)
+      Alcotest.(check string) "justification kept" "documented why" e.Lint.justification
+  | Ok es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+
+let test_render_baseline_marks_new_entries () =
+  match Lint.parse_baseline (Lint.render_baseline ~old:[] (findings two_aborts)) with
+  | Error msgs -> Alcotest.failf "rendered baseline does not parse: %s" (String.concat "; " msgs)
+  | Ok [ e ] -> Alcotest.(check string) "placeholder" "TODO justify" e.Lint.justification
+  | Ok es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+
+let test_render_baseline_roundtrip_is_quiet () =
+  (* rendering then applying suppresses everything with nothing stale *)
+  let fs = findings two_aborts in
+  match Lint.parse_baseline (Lint.render_baseline ~old:[] fs) with
+  | Error msgs -> Alcotest.failf "rendered baseline does not parse: %s" (String.concat "; " msgs)
+  | Ok entries ->
+      let out = Lint.apply_baseline entries fs in
+      check_int "no fresh" 0 (List.length out.Lint.fresh);
+      check_int "no stale" 0 (List.length out.Lint.stale)
+
 let () =
   Alcotest.run "repro_lint"
     [
@@ -186,6 +441,18 @@ let () =
           Alcotest.test_case "nested expressions" `Quick test_nested_expressions_are_walked;
           Alcotest.test_case "rule list" `Quick test_rule_list_is_consistent;
         ] );
+      ( "interproc",
+        [
+          Alcotest.test_case "escape chain" `Quick test_interproc_escape_chain;
+          Alcotest.test_case "clean twin" `Quick test_interproc_clean_twin;
+          Alcotest.test_case "send discipline" `Quick test_interproc_send_discipline;
+          Alcotest.test_case "wrapped metrics path" `Quick test_interproc_wrapped_metrics_path;
+          Alcotest.test_case "alias resolution" `Quick test_interproc_alias_resolution;
+          Alcotest.test_case "non-callback exempt" `Quick test_interproc_non_callback_is_exempt;
+          Alcotest.test_case "callgraph shape" `Quick test_callgraph_shape;
+          Alcotest.test_case "effect summaries" `Quick test_effect_summaries;
+          Alcotest.test_case "fixture corpus" `Quick test_fixture_corpus;
+        ] );
       ( "baseline",
         [
           Alcotest.test_case "parse" `Quick test_baseline_parse;
@@ -195,5 +462,9 @@ let () =
           Alcotest.test_case "detects stale" `Quick test_baseline_detects_stale;
           Alcotest.test_case "per rule and file" `Quick test_baseline_is_per_rule_and_file;
           Alcotest.test_case "parse error" `Quick test_parse_error_is_reported;
+          Alcotest.test_case "render keeps justifications" `Quick
+            test_render_baseline_keeps_justifications;
+          Alcotest.test_case "render marks new entries" `Quick test_render_baseline_marks_new_entries;
+          Alcotest.test_case "render roundtrip" `Quick test_render_baseline_roundtrip_is_quiet;
         ] );
     ]

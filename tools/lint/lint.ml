@@ -1,12 +1,27 @@
-(* CLI driver for the model-compliance lint: [lint [--format text|json]
-   [--baseline FILE] <file-or-dir>...]. Directories are walked
-   recursively for [.ml] files (in sorted order, so output and baseline
-   application are stable). Exits 0 when clean, 1 on findings or stale
-   baseline entries, 2 on usage/parse errors. *)
+(* CLI driver for the model-compliance lint:
+
+     lint [--format text|json] [--baseline FILE] [--no-interproc]
+          [--effects-out FILE] [--update-baseline] <file-or-dir>...
+
+   Directories are walked recursively for [.ml] files (in sorted order,
+   so output and baseline application are stable). Each file is parsed
+   once; the single-file rules run per file and, unless
+   [--no-interproc] is given, the whole file set feeds the
+   interprocedural pass (symbol/call graph -> effect summaries ->
+   node-locality / send-discipline). [--effects-out] additionally dumps
+   the effect summaries as JSON. [--update-baseline] rewrites the
+   baseline file in place from the current findings instead of
+   reporting them. Exits 0 when clean, 1 on findings or stale baseline
+   entries, 2 on usage/parse errors or nonexistent paths. *)
 
 module Lint_core = Repro_lint.Lint_core
+module Interproc = Repro_lint.Interproc
+module Effects = Repro_lint.Effects
+module Callgraph = Repro_lint.Callgraph
 
-let usage = "lint [--format text|json] [--baseline FILE] <file-or-dir>..."
+let usage =
+  "lint [--format text|json] [--baseline FILE] [--no-interproc] [--effects-out FILE] \
+   [--update-baseline] <file-or-dir>..."
 
 let rec collect path acc =
   if Sys.is_directory path then
@@ -16,9 +31,18 @@ let rec collect path acc =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let () =
   let format = ref "text" in
   let baseline_path = ref "" in
+  let interproc = ref true in
+  let effects_out = ref "" in
+  let update_baseline = ref false in
   let paths = ref [] in
   let spec =
     [
@@ -26,6 +50,19 @@ let () =
         Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
         " output format (default text)" );
       ("--baseline", Arg.Set_string baseline_path, "FILE suppress baselined findings");
+      ( "--interproc",
+        Arg.Set interproc,
+        " run the interprocedural pass (default; see --no-interproc)" );
+      ( "--no-interproc",
+        Arg.Clear interproc,
+        " skip the interprocedural pass (single-file rules only)" );
+      ( "--effects-out",
+        Arg.Set_string effects_out,
+        "FILE write the per-binding effect summaries as JSON" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " rewrite the --baseline file from current findings (new entries marked 'TODO \
+         justify') and exit" );
       ( "--rules",
         Arg.Unit
           (fun () ->
@@ -39,33 +76,86 @@ let () =
     prerr_endline usage;
     exit 2
   end;
-  let files = List.fold_left (fun acc p -> collect p acc) [] (List.rev !paths) in
+  if !update_baseline && !baseline_path = "" then begin
+    prerr_endline "lint: --update-baseline requires --baseline FILE";
+    exit 2
+  end;
+  let files =
+    List.fold_left
+      (fun acc p ->
+        (* Sys.is_directory raises Sys_error on a nonexistent path *)
+        try collect p acc
+        with Sys_error _ ->
+          Printf.eprintf "lint: no such file or directory: %s\n" p;
+          exit 2)
+      [] (List.rev !paths)
+  in
   let files = List.sort_uniq String.compare files in
-  let findings = ref [] and broken = ref false in
+  (* parse each file once; both passes consume the structures *)
+  let parsed = ref [] and broken = ref false in
   List.iter
     (fun file ->
-      match Lint_core.lint_file file with
-      | Ok fs -> findings := !findings @ fs
+      match Lint_core.parse_source ~file (read_file file) with
+      | Ok structure -> parsed := (file, structure) :: !parsed
       | Error msg ->
           Printf.eprintf "lint: cannot parse %s:\n%s\n" file msg;
           broken := true)
     files;
   if !broken then exit 2;
-  let outcome =
+  let parsed = List.rev !parsed in
+  let findings =
+    (* linear accumulation: rev_append per file, one final rev *)
+    List.fold_left
+      (fun acc (file, structure) ->
+        List.rev_append (Lint_core.lint_structure ~file structure) acc)
+      [] parsed
+    |> List.rev
+  in
+  let findings =
+    if not !interproc then findings
+    else begin
+      let cg = Callgraph.build parsed in
+      (if !effects_out <> "" then
+         let json = Effects.to_json cg (Effects.summarize cg) in
+         let oc = open_out_bin !effects_out in
+         Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json));
+      findings @ Interproc.findings cg
+    end
+  in
+  let baseline_entries =
     match !baseline_path with
-    | "" -> { Lint_core.fresh = !findings; stale = [] }
+    | "" -> []
+    | path when (not (Sys.file_exists path)) && !update_baseline -> []
     | path -> (
-        let ic = open_in_bin path in
-        let text =
-          Fun.protect
-            ~finally:(fun () -> close_in ic)
-            (fun () -> really_input_string ic (in_channel_length ic))
-        in
-        match Lint_core.parse_baseline text with
-        | Ok entries -> Lint_core.apply_baseline entries !findings
+        match Lint_core.parse_baseline (read_file path) with
+        | Ok entries -> entries
         | Error msgs ->
             List.iter prerr_endline msgs;
             exit 2)
+  in
+  if !update_baseline then begin
+    let text = Lint_core.render_baseline ~old:baseline_entries findings in
+    let oc = open_out_bin !baseline_path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+    let kept, fresh =
+      List.partition
+        (fun (f : Lint_core.finding) ->
+          List.exists
+            (fun (e : Lint_core.baseline_entry) ->
+              e.Lint_core.b_rule = f.Lint_core.rule && e.Lint_core.b_file = f.Lint_core.file)
+            baseline_entries)
+        findings
+    in
+    Printf.eprintf
+      "lint: %s updated: %d finding(s) baselined (%d under existing entries, %d new — grep \
+       'TODO justify' and write justifications)\n"
+      !baseline_path (List.length findings) (List.length kept) (List.length fresh);
+    exit 0
+  end;
+  let outcome =
+    match !baseline_path with
+    | "" -> { Lint_core.fresh = findings; stale = [] }
+    | _ -> Lint_core.apply_baseline baseline_entries findings
   in
   (match !format with
   | "json" ->

@@ -36,9 +36,20 @@ let rules =
     ( "hashtbl-order",
       "Hashtbl.iter/fold in lib/congest: iteration order is nondeterministic; sort \
        explicitly before anything order-sensitive (outboxes, metrics)" );
+    (* the two interprocedural rules (implemented in Interproc over the
+       Callgraph/Effects stages) are registered here so the baseline
+       parser and --rules listing know them *)
+    ( "node-locality",
+      "interprocedural: a per-node callback (init/step/active/on_restart, or a RECOVERABLE \
+       structure handed to a *.Make functor) can reach module-level mutable state — shared \
+       memory outside charged messages invalidates every round bound" );
+    ( "send-discipline",
+      "interprocedural: a per-node callback path charges Metrics counters directly; all \
+       traffic/storage accounting must flow through the engine's single charging path" );
   ]
 
 let rule_ids = List.map fst rules
+let interproc_rule_ids = [ "node-locality"; "send-discipline" ]
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping *)
@@ -68,7 +79,7 @@ let applies rule file =
   match rule with
   | "lib-abort" -> under "lib" file
   | "poly-compare" | "hashtbl-order" -> under "lib/congest" file
-  | _ -> true
+  | _ -> true (* node-locality and send-discipline bind wherever nodes run *)
 
 (* ------------------------------------------------------------------ *)
 (* The AST walk *)
@@ -244,6 +255,42 @@ let apply_baseline entries findings =
       entries
   in
   { fresh; stale }
+
+(* Rebuild the baseline from the current findings: one entry per
+   (rule, file) with the exact count. Entries that survive keep their
+   justification; new ones are marked for review; entries whose
+   findings disappeared are dropped (they would be stale). Used by
+   [lint --update-baseline]. *)
+let baseline_header =
+  "# Model-compliance lint baseline (DESIGN.md \"Model compliance & static analysis\").\n\
+   # One entry per deliberate exception: <rule> <file> <count> # justification.\n\
+   # `dune build @lint` fails on any finding not covered here AND on any entry\n\
+   # whose count exceeds the real findings (stale) — shrink this file as code is fixed.\n"
+
+let render_baseline ~old findings =
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let k = (f.rule, f.file) in
+      Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    findings;
+  let groups =
+    Hashtbl.fold (fun (rule, file) count acc -> (file, rule, count) :: acc) tally []
+    |> List.sort compare
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf baseline_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (file, rule, count) ->
+      let justification =
+        match List.find_opt (fun e -> e.b_rule = rule && e.b_file = file) old with
+        | Some e -> e.justification
+        | None -> "TODO justify"
+      in
+      Buffer.add_string buf (Printf.sprintf "%s %s %d # %s\n" rule file count justification))
+    groups;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Output *)

@@ -8,15 +8,30 @@
 
 type finding = { rule : string; file : string; line : int; col : int; message : string }
 
-(** [(id, description)] for every rule the analyzer knows. *)
+(** [(id, description)] for every rule the analyzer knows, including
+    the interprocedural rules implemented in [Interproc]. *)
 val rules : (string * string) list
 
 val rule_ids : string list
+
+(** The rule ids emitted by the interprocedural pass ([node-locality],
+    [send-discipline]) rather than the single-file walk. *)
+val interproc_rule_ids : string list
 
 (** [applies rule file] — is [rule] in force for [file]? Some rules are
     scoped: [lib-abort] to [lib/], [poly-compare] and [hashtbl-order] to
     [lib/congest/]. *)
 val applies : string -> string -> bool
+
+(** [parse_source ~file src] parses [src] into a Parsetree, attributing
+    locations to [file]; errors render as a compiler-style report. The
+    CLI parses each file once and feeds the structure to both the
+    single-file walk and the interprocedural pass. *)
+val parse_source : file:string -> string -> (Parsetree.structure, string) result
+
+(** [lint_structure ~file structure] runs the single-file rules over an
+    already-parsed structure. *)
+val lint_structure : file:string -> Parsetree.structure -> finding list
 
 (** [lint_source ~file src] parses [src] (attributing locations to
     [file], which also drives rule scoping) and returns its findings in
@@ -49,6 +64,14 @@ type baseline_outcome = {
 }
 
 val apply_baseline : baseline_entry list -> finding list -> baseline_outcome
+
+(** [render_baseline ~old findings] rebuilds the baseline file text from
+    the current findings: one [<rule> <file> <count>] entry per group,
+    sorted by file then rule. Groups that already had an entry in [old]
+    keep its justification; new groups are marked ["TODO justify"];
+    entries with no remaining findings are dropped. Used by
+    [lint --update-baseline]. *)
+val render_baseline : old:baseline_entry list -> finding list -> string
 
 val pp_finding_text : Format.formatter -> finding -> unit
 val pp_finding_json : Format.formatter -> finding -> unit
