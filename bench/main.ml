@@ -34,6 +34,8 @@ module Stateful = Repro_core.Stateful
 module Cdl = Repro_core.Cdl
 module Matching = Repro_core.Matching
 module Girth = Repro_core.Girth
+module Engine = Repro_congest.Engine
+module Detector = Repro_congest.Detector
 
 let log2f x = log (float_of_int (max 2 x)) /. log 2.0
 
@@ -582,6 +584,51 @@ let e8 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable rows for the fault experiments (E-F1/E-F2/E-F3),
+   flushed to BENCH_faults.json after the selected experiments ran, so
+   CI can diff fault-tolerance costs without scraping the tables. *)
+
+let fault_rows : string list ref = ref []
+
+let fault_row ~experiment ~scenario fields =
+  let all =
+    ("experiment", Printf.sprintf "%S" experiment)
+    :: ("scenario", Printf.sprintf "%S" scenario)
+    :: fields
+  in
+  fault_rows :=
+    Printf.sprintf "    {%s}"
+      (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) all))
+    :: !fault_rows
+
+let metric_fields m =
+  [
+    ("rounds", string_of_int (Metrics.rounds m));
+    ("messages", string_of_int (Metrics.messages m));
+    ("retransmissions", string_of_int (Metrics.retransmissions m));
+    ("dropped", string_of_int (Metrics.dropped m));
+    ("duplicated", string_of_int (Metrics.duplicated m));
+    ("corrupted", string_of_int (Metrics.corrupted m));
+    ("rejected", string_of_int (Metrics.rejected m));
+    ("suspicions", string_of_int (Metrics.suspicions m));
+    ("link_failures", string_of_int (Metrics.link_failures m));
+    ("checkpoints", string_of_int (Metrics.checkpoints m));
+    ("checkpoint_words", string_of_int (Metrics.checkpoint_words m));
+    ("recoveries", string_of_int (Metrics.recoveries m));
+    ("resync_rounds", string_of_int (Metrics.resync_rounds m));
+  ]
+
+let flush_fault_json () =
+  if !fault_rows <> [] then begin
+    let oc = open_out "BENCH_faults.json" in
+    output_string oc "{\n  \"rows\": [\n";
+    output_string oc (String.concat ",\n" (List.rev !fault_rows));
+    output_string oc "\n  ]\n}\n";
+    close_out oc;
+    Printf.printf "\nwrote BENCH_faults.json (%d rows)\n" (List.length !fault_rows)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E-F1: reliable transport overhead under fault injection *)
 
 let ef1 () =
@@ -614,6 +661,12 @@ let ef1 () =
           let m = Metrics.create () in
           let faults = Fault.create ~seed:1 (Fault.profile ~drop ()) in
           let t = Bfs_tree.build ~faults ~reliable:true g ~root:0 ~metrics:m in
+          fault_row ~experiment:"E-F1"
+            ~scenario:(Printf.sprintf "%s drop=%.2f" name drop)
+            (("n", string_of_int (Digraph.n g))
+            :: ("raw_rounds", string_of_int raw)
+            :: ("exact", string_of_bool (t.Bfs_tree.dist = expected))
+            :: metric_fields m);
           Printf.printf "   %s | %s | %s | %s | %s | %s | %s | %s | %s\n" (cell 16 name)
             (cell 5 (string_of_int (Digraph.n g)))
             (cell 5 (Printf.sprintf "%.2f" drop))
@@ -661,6 +714,12 @@ let ef2 () =
       let row label faults recovery =
         let m = Metrics.create () in
         let t = Bfs_tree.build ?faults ~recovery g ~root:0 ~metrics:m in
+        fault_row ~experiment:"E-F2"
+          ~scenario:(Printf.sprintf "%s interval=%s" name label)
+          (("n", string_of_int (Digraph.n g))
+          :: ("baseline_rounds", string_of_int baseline)
+          :: ("exact", string_of_bool (t.Bfs_tree.dist = expected))
+          :: metric_fields m);
         Printf.printf "   %s | %s | %s | %s | %s | %s | %s | %s | %s | %s\n" (cell 16 name)
           (cell 5 (string_of_int (Digraph.n g)))
           (cell 9 label)
@@ -683,6 +742,81 @@ let ef2 () =
         (fun interval ->
           row (string_of_int interval) (faults ()) { Recovery.checkpoint_every = interval })
         [ 0; 2; 4; 8; 16 ])
+    families
+
+(* ------------------------------------------------------------------ *)
+(* E-F3: failure-detector suspicion latency vs heartbeat period *)
+
+let ef3 () =
+  header "E-F3: detector suspicion latency vs heartbeat period (partition at round 0)"
+    "the first suspicion of a severed link fires within timeout = 3 x period \
+     rounds of the last delivery, and the Partial verdict matches the \
+     centralized partition oracle";
+  table_header
+    [
+      cell 16 "family"; cell 5 "n"; cell 6 "period"; cell 7 "timeout"; cell 9 "1st susp";
+      cell 7 "latency"; cell 5 "bound"; cell 7 "rounds"; cell 24 "verdict"; cell 6 "ok";
+    ];
+  let families =
+    [
+      ("partial 2-tree", ptk ~seed:91 48 2, Fault.Around [ 7 ]);
+      ("grid 6x6", Generators.grid 6 6, Fault.Around [ 14 ]);
+    ]
+  in
+  List.iter
+    (fun (name, g, cut) ->
+      List.iter
+        (fun period ->
+          let timeout = 3 * period in
+          let faults =
+            Fault.create ~seed:5
+              (Fault.profile ~partitions:[ Fault.partition ~from:0 cut ] ())
+          in
+          (* lightweight sink: only the first suspicion round matters,
+             so don't buffer the whole trace *)
+          let first_suspect = ref None in
+          let saved = !Engine.trace_sink in
+          Engine.trace_sink :=
+            Repro_obs.Sink.make (function
+              | Repro_obs.Event.Suspect { round; _ } ->
+                  if !first_suspect = None then first_suspect := Some round
+              | _ -> ());
+          let m = Metrics.create () in
+          let v =
+            match Bfs_tree.build_certified ~faults ~period ~timeout g ~root:0 ~metrics:m with
+            | _, v -> Engine.trace_sink := saved; v
+            | exception e -> Engine.trace_sink := saved; raise e
+          in
+          let oracle = Detector.oracle ~faults g ~root:0 in
+          let verdict_ok =
+            match v with
+            | Detector.Complete -> false (* a round-0 cut must be noticed *)
+            | Detector.Partial { reachable; _ } -> reachable = oracle
+          in
+          (* the cut exists from round 0, so latency is measured from the
+             start round (= the initial last-heard deadline) *)
+          let latency = match !first_suspect with Some r -> r | None -> max_int in
+          let ok = verdict_ok && latency <= timeout in
+          fault_row ~experiment:"E-F3" ~scenario:(Printf.sprintf "%s period=%d" name period)
+            (("n", string_of_int (Digraph.n g))
+            :: ("period", string_of_int period)
+            :: ("timeout", string_of_int timeout)
+            :: ("suspicion_latency", string_of_int latency)
+            :: ("latency_bound", string_of_int timeout)
+            :: ("verdict", Printf.sprintf "%S" (Format.asprintf "%a" Detector.pp_verdict v))
+            :: ("verdict_matches_oracle", string_of_bool verdict_ok)
+            :: metric_fields m);
+          Printf.printf "   %s | %s | %s | %s | %s | %s | %s | %s | %s | %s\n" (cell 16 name)
+            (cell 5 (string_of_int (Digraph.n g)))
+            (cell 6 (string_of_int period))
+            (cell 7 (string_of_int timeout))
+            (cell 9 (match !first_suspect with Some r -> string_of_int r | None -> "never"))
+            (cell 7 (string_of_int latency))
+            (cell 5 (string_of_int timeout))
+            (cell 7 (string_of_int (Metrics.rounds m)))
+            (cell 24 (Format.asprintf "%a" Detector.pp_verdict v))
+            (cell 6 (if ok then "yes" else "NO")))
+        [ 2; 4; 8 ])
     families
 
 (* ------------------------------------------------------------------ *)
@@ -796,7 +930,8 @@ let experiments =
   [
     ("E1", e1); ("E2a", e2a); ("E2b", e2b); ("E3", e3); ("E4", e4);
     ("E5a", e5a); ("E5b", e5b); ("E6a", e6a); ("E6b", e6b); ("E6c", e6c); ("E6d", e6d);
-    ("E7", e7); ("E8", e8); ("EF1", ef1); ("EF2", ef2); ("EObs", eobs); ("micro", micro);
+    ("E7", e7); ("E8", e8); ("EF1", ef1); ("EF2", ef2); ("EF3", ef3); ("EObs", eobs);
+    ("micro", micro);
   ]
 
 let () =
@@ -814,4 +949,5 @@ let () =
   Printf.printf
     "reproduction experiment harness (rounds are simulated CONGEST rounds)\n";
   List.iter (fun (_, f) -> f ()) selected;
+  flush_fault_json ();
   Printf.printf "\nAll experiments completed.\n"

@@ -15,6 +15,7 @@ module Fault = Repro_congest.Fault
 module Recovery = Repro_congest.Recovery
 module Bfs_tree = Repro_congest.Bfs_tree
 module Bellman_ford = Repro_congest.Bellman_ford
+module Detector = Repro_congest.Detector
 open Cmdliner
 
 let profiles =
@@ -35,11 +36,41 @@ let profiles =
             Fault.crash 5 ~from:8 ~until:22 ~mode:Fault.Amnesia;
           ]
         () );
+    ("corrupt-heavy", Fault.profile ~corrupt:0.3 ());
+    ("corrupt-lossy", Fault.profile ~corrupt:0.2 ~drop:0.15 ~duplicate:0.1 ~max_delay:1 ());
+    ( "partition-heal",
+      Fault.profile ~drop:0.1
+        ~partitions:[ Fault.partition ~from:0 ~heal:40 (Fault.Around [ 5 ]) ]
+        () );
   ]
 
-let run seeds checkpoint_every obs =
+(* Non-healing partitions: exactness everywhere is impossible, so these
+   run the detector-certified variants and are checked against the
+   degraded oracle — verdict reachable-set vs {!Detector.oracle}, and
+   distances vs the centralized answer on the graph minus the severed
+   links. *)
+let certified_profiles =
+  [
+    ("partition-node", Fault.profile ~partitions:[ Fault.partition ~from:0 (Fault.Around [ 7 ]) ] ());
+    ( "partition-pair",
+      Fault.profile ~corrupt:0.1
+        ~partitions:[ Fault.partition ~from:0 (Fault.Around [ 3; 11 ]) ]
+        () );
+  ]
+
+(* [g] minus its permanently severed links (the degraded ground truth) *)
+let prune_severed g f =
+  let quads =
+    Array.to_list (Digraph.edges g)
+    |> List.filter (fun (e : Digraph.edge) -> not (Fault.severed f ~src:e.src ~dst:e.dst))
+    |> List.map (fun (e : Digraph.edge) -> (e.src, e.dst, e.weight, e.label))
+  in
+  Digraph.create_labeled ~directed:(Digraph.directed g) (Digraph.n g) quads
+
+let run seeds checkpoint_every only obs =
   Cli_common.setup_obs obs;
   Engine.audit_enabled := true;
+  let wanted name = only = [] || List.mem name only in
   let failures = ref 0 in
   let total = Metrics.create () in
   let case ~graph ~profile_name ~seed label ok m =
@@ -56,20 +87,54 @@ let run seeds checkpoint_every obs =
       let skel = Digraph.skeleton g in
       List.iter
         (fun (pname, profile) ->
-          for seed = 1 to seeds do
-            let faults () = Fault.create ~seed profile in
-            let m = Metrics.create () in
-            let t = Bfs_tree.build ~faults:(faults ()) ~recovery skel ~root:0 ~metrics:m in
-            case ~graph:gname ~profile_name:pname ~seed "bfs"
-              (t.Bfs_tree.dist = Traversal.bfs_undirected skel 0)
-              m;
-            let m = Metrics.create () in
-            let d = Bellman_ford.run ~faults:(faults ()) ~recovery g ~source:0 ~metrics:m in
-            case ~graph:gname ~profile_name:pname ~seed "sssp"
-              (d = Shortest_path.dijkstra g 0)
-              m
-          done)
-        profiles)
+          if wanted pname then
+            for seed = 1 to seeds do
+              let faults () = Fault.create ~seed profile in
+              (* a corrupt-only profile must never smuggle a garbled
+                 payload past the transport's checksum *)
+              let integrity m =
+                profile.Fault.corrupt = 0.0
+                || Metrics.rejected m = Metrics.corrupted m
+              in
+              let m = Metrics.create () in
+              let t = Bfs_tree.build ~faults:(faults ()) ~recovery skel ~root:0 ~metrics:m in
+              case ~graph:gname ~profile_name:pname ~seed "bfs"
+                (t.Bfs_tree.dist = Traversal.bfs_undirected skel 0
+                && (profile.Fault.crashes <> [] || integrity m))
+                m;
+              let m = Metrics.create () in
+              let d = Bellman_ford.run ~faults:(faults ()) ~recovery g ~source:0 ~metrics:m in
+              case ~graph:gname ~profile_name:pname ~seed "sssp"
+                (d = Shortest_path.dijkstra g 0
+                && (profile.Fault.crashes <> [] || integrity m))
+                m
+            done)
+        profiles;
+      List.iter
+        (fun (pname, profile) ->
+          if wanted pname then
+            for seed = 1 to seeds do
+              let faults () = Fault.create ~seed profile in
+              let f = faults () in
+              let oracle = Detector.oracle ~faults:f skel ~root:0 in
+              let verdict_ok = function
+                | Detector.Complete -> Array.for_all Fun.id oracle
+                | Detector.Partial { reachable; _ } -> reachable = oracle
+              in
+              let m = Metrics.create () in
+              let t, v = Bfs_tree.build_certified ~faults:f skel ~root:0 ~metrics:m in
+              case ~graph:gname ~profile_name:pname ~seed "bfs/certified"
+                (verdict_ok v
+                && t.Bfs_tree.dist = Traversal.bfs_undirected (prune_severed skel f) 0)
+                m;
+              let f = faults () in
+              let m = Metrics.create () in
+              let d, v = Bellman_ford.run_certified ~faults:f g ~source:0 ~metrics:m in
+              case ~graph:gname ~profile_name:pname ~seed "sssp/certified"
+                (verdict_ok v && d = Shortest_path.dijkstra (prune_severed g f) 0)
+                m
+            done)
+        certified_profiles)
     [
       ("ktree-24-2", Generators.random_weights ~seed:5 ~max_weight:9 (Generators.k_tree ~seed:5 24 2));
       ( "partial-32-3",
@@ -91,9 +156,15 @@ let checkpoint_every_t =
     value & opt int 4
     & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Recovery checkpoint interval.")
 
+let only_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "profile" ] ~docv:"NAME"
+        ~doc:"Run only the named fault profile (repeatable; default: all).")
+
 let cmd =
   Cmd.v
     (Cmd.info "chaos_cli" ~doc:"Fault-profile sweep with oracle checks (CI chaos smoke)")
-    Term.(const run $ seeds_t $ checkpoint_every_t $ Cli_common.obs_t)
+    Term.(const run $ seeds_t $ checkpoint_every_t $ only_t $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

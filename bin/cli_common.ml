@@ -114,6 +114,8 @@ type fault_config = {
   faults : Fault.t option;
   reliable : bool;
   recovery : Repro_congest.Recovery.config option;
+  detector_period : int;  (* heartbeat period of the degraded-mode probe *)
+  max_retries : int;  (* transport retry budget before a link is declared dead *)
 }
 
 let drop_t =
@@ -146,35 +148,15 @@ let unreliable_t =
            acknowledged transport (demonstrates fragility; the oracle check \
            will typically fail).")
 
-(* --crash NODE:FROM[:UNTIL[:MODE]] — repeatable. MODE is freeze (default)
-   or amnesia; omitting UNTIL makes it a crash-stop (never restarts). *)
+(* The spec parsers live in Fault so the parser and printer stay one
+   tested inverse pair; here we only prefix errors with the flag name. *)
 let parse_crash s =
-  let fail () =
-    Error
-      (Printf.sprintf
-         "bad --crash %S (expected NODE:FROM[:UNTIL[:MODE]], MODE in {freeze, amnesia})" s)
-  in
-  let int_of s = int_of_string_opt (String.trim s) in
-  let mode_of = function
-    | "freeze" -> Some Fault.Freeze
-    | "amnesia" -> Some Fault.Amnesia
-    | _ -> None
-  in
-  match String.split_on_char ':' s with
-  | [ node; from ] -> (
-      match (int_of node, int_of from) with
-      | Some node, Some from -> Ok (Fault.crash node ~from)
-      | _ -> fail ())
-  | [ node; from; until ] -> (
-      match (int_of node, int_of from, int_of until) with
-      | Some node, Some from, Some until -> Ok (Fault.crash node ~from ~until)
-      | _ -> fail ())
-  | [ node; from; until; mode ] -> (
-      match (int_of node, int_of from, int_of until, mode_of (String.trim mode)) with
-      | Some node, Some from, Some until, Some mode ->
-          Ok (Fault.crash node ~from ~until ~mode)
-      | _ -> fail ())
-  | _ -> fail ()
+  Result.map_error (fun e -> Printf.sprintf "bad --crash %S: %s" s e) (Fault.parse_crash s)
+
+let parse_partition s =
+  Result.map_error
+    (fun e -> Printf.sprintf "bad --partition %S: %s" s e)
+    (Fault.parse_partition s)
 
 let crash_t =
   Arg.(
@@ -185,6 +167,26 @@ let crash_t =
            restarts at that round; MODE freeze (default) preserves its state \
            across the outage, amnesia wipes it (re-runs init, or restores from \
            the recovery layer's checkpoints when --checkpoint-every is given).")
+
+let partition_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "partition" ] ~docv:"CUT:FROM[:HEAL]"
+        ~doc:
+          "Sever links from round FROM (repeatable). CUT is either a link list \
+           u-v[,u-v...] or a vertex cut @n[,n...] (every link touching those \
+           nodes). With HEAL the cut is restored at that round; without it the \
+           partition is permanent and fault-tolerant runs end with a Partial \
+           verdict over the reachable component.")
+
+let corrupt_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "corrupt" ] ~docv:"P"
+        ~doc:
+          "Per-copy payload corruption probability in [0,1). The reliable \
+           transport detects corrupt packets by checksum, rejects them and \
+           retransmits; raw links (--unreliable) discard them as undecodable.")
 
 let checkpoint_every_t =
   Arg.(
@@ -209,13 +211,14 @@ let replay_t =
 
 (* Rebuild a scripted adversary from a recorded trace. A trace whose
    runs were all fault-free replays as a plain deterministic run. *)
-let load_replay path unreliable recovery =
+let load_replay path unreliable recovery ~detector_period ~max_retries =
   match Trace_io.read_jsonl ~path with
   | exception Repro_obs.Event.Parse_error msg -> Error ("--replay: " ^ msg)
   | exception Sys_error msg -> Error ("--replay: " ^ msg)
   | events ->
       let r = Replay.of_events events in
-      if Replay.runs r = 0 then Ok { faults = None; reliable = false; recovery }
+      if Replay.runs r = 0 then
+        Ok { faults = None; reliable = false; recovery; detector_period; max_retries }
       else
         let crashes =
           List.map
@@ -224,15 +227,33 @@ let load_replay path unreliable recovery =
                 ~mode:(if w.amnesia then Fault.Amnesia else Fault.Freeze))
             (Replay.crashes r)
         in
+        let partitions =
+          List.map
+            (fun (w : Replay.partition_window) ->
+              let cut =
+                match w.links with
+                | [] -> Fault.Around w.nodes
+                | links -> Fault.Links links
+              in
+              Fault.partition ~from:w.p_from_round ?heal:w.heal_round cut)
+            (Replay.partitions r)
+        in
+        let plan ~run ~round ~src ~dst =
+          List.map
+            (fun (extra, corrupt) -> { Fault.extra; corrupt })
+            (Replay.plan r ~run ~round ~src ~dst)
+        in
         Ok
           {
-            faults = Some (Fault.scripted ~crashes (Replay.plan r));
+            faults = Some (Fault.scripted ~crashes ~partitions plan);
             reliable = not unreliable;
             recovery;
+            detector_period;
+            max_retries;
           }
 
-let make_fault_config replay drop dup delay crash_specs checkpoint_every fault_seed
-    unreliable =
+let make_fault_config replay drop dup delay corrupt crash_specs partition_specs
+    checkpoint_every fault_seed unreliable detector_period max_retries =
   let ( let* ) = Result.bind in
   let* crashes =
     List.fold_left
@@ -242,19 +263,29 @@ let make_fault_config replay drop dup delay crash_specs checkpoint_every fault_s
         Ok (c :: acc))
       (Ok []) crash_specs
   in
+  let* partitions =
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* p = parse_partition spec in
+        Ok (p :: acc))
+      (Ok []) partition_specs
+  in
   let* recovery =
     if checkpoint_every < -1 then Error "--checkpoint-every must be >= 0"
     else if checkpoint_every < 0 then Ok None
     else Ok (Some { Repro_congest.Recovery.checkpoint_every })
   in
   match replay with
-  | Some path -> load_replay path unreliable recovery
+  | Some path -> load_replay path unreliable recovery ~detector_period ~max_retries
   | None ->
-      if drop = 0.0 && dup = 0.0 && delay = 0 && crashes = [] then
-        Ok { faults = None; reliable = false; recovery }
+      if drop = 0.0 && dup = 0.0 && delay = 0 && corrupt = 0.0 && crashes = []
+         && partitions = []
+      then Ok { faults = None; reliable = false; recovery; detector_period; max_retries }
       else (
         match
-          Fault.profile ~drop ~duplicate:dup ~max_delay:delay ~crashes:(List.rev crashes) ()
+          Fault.profile ~drop ~duplicate:dup ~max_delay:delay ~corrupt
+            ~crashes:(List.rev crashes) ~partitions:(List.rev partitions) ()
         with
         | profile ->
             Ok
@@ -262,14 +293,35 @@ let make_fault_config replay drop dup delay crash_specs checkpoint_every fault_s
                 faults = Some (Fault.create ~seed:fault_seed profile);
                 reliable = not unreliable;
                 recovery;
+                detector_period;
+                max_retries;
               }
         | exception Invalid_argument msg -> Error msg)
+
+let detector_period_t =
+  Arg.(
+    value & opt int 4
+    & info [ "detector-period" ] ~docv:"P"
+        ~doc:
+          "Heartbeat period (rounds) of the failure detector behind the \
+           degraded-mode probe; a link silent for 3*P rounds is suspected. \
+           Must be >= 2.")
+
+let max_retries_t =
+  Arg.(
+    value & opt int 25
+    & info [ "max-retries" ] ~docv:"R"
+        ~doc:
+          "Transport retransmission budget per message; a link that exhausts \
+           it is declared dead and abandoned (how a permanently partitioned \
+           run terminates).")
 
 let fault_config_t =
   Term.term_result' ~usage:true
     Term.(
-      const make_fault_config $ replay_t $ drop_t $ dup_t $ delay_t $ crash_t
-      $ checkpoint_every_t $ fault_seed_t $ unreliable_t)
+      const make_fault_config $ replay_t $ drop_t $ dup_t $ delay_t $ corrupt_t $ crash_t
+      $ partition_t $ checkpoint_every_t $ fault_seed_t $ unreliable_t
+      $ detector_period_t $ max_retries_t)
 
 let print_fault_config fc =
   (match fc.faults with
@@ -338,3 +390,75 @@ let print_metrics ?(obs = no_obs) ?(name = "metrics") m =
 let print_graph_summary g =
   Format.printf "%a, diameter %d@." Digraph.pp g
     (Repro_graph.Traversal.diameter (Digraph.skeleton g))
+
+(* ------------------------------------------------------------------ *)
+(* Certified degraded mode (DESIGN.md "Fault model"): under permanent
+   faults — a non-healing partition or a crash-stop — no pipeline can
+   be exact everywhere, so the CLIs first run a detector-certified BFS
+   probe. Its verdict is validated against the centralized connectivity
+   oracle (exit 1 on disagreement), and the pipeline then runs on the
+   certified reachable component with every suspected link removed. *)
+
+let permanent_faults fc =
+  match fc.faults with
+  | None -> false
+  | Some f ->
+      let p = Fault.profile_of f in
+      List.exists (fun (pa : Fault.partition) -> pa.heal_round = None) p.Fault.partitions
+      || List.exists (fun (c : Fault.crash) -> c.until_round = None) p.Fault.crashes
+
+let certified_subgraph fc obs g ~root =
+  if not (permanent_faults fc) then None
+  else begin
+    let faults = fc.faults in
+    (match faults with
+    | Some f when Fault.eventually_down f root ->
+        Format.printf "degraded-mode probe: root %d is crash-stopped; probe from a live node@."
+          root;
+        exit 1
+    | _ -> ());
+    let skeleton = Digraph.skeleton g in
+    let pm = Metrics.create () in
+    let _tree, verdict =
+      Repro_congest.Bfs_tree.build_certified ?faults ~period:fc.detector_period
+        ~max_retries:fc.max_retries skeleton ~root ~metrics:pm
+    in
+    Format.printf "probe verdict: %a@." Repro_congest.Detector.pp_verdict verdict;
+    Format.printf "probe:@ %a@." Metrics.pp pm;
+    metrics_json obs ~name:"probe" pm;
+    let oracle = Repro_congest.Detector.oracle ?faults skeleton ~root in
+    let count a = Array.fold_left (fun k b -> if b then k + 1 else k) 0 a in
+    match verdict with
+    | Repro_congest.Detector.Complete ->
+        if count oracle = Array.length oracle then None
+        else begin
+          Format.printf
+            "probe verdict MISMATCH: Complete, but the oracle reaches only %d/%d nodes@."
+            (count oracle) (Array.length oracle);
+          exit 1
+        end
+    | Repro_congest.Detector.Partial { reachable; suspected } ->
+        if reachable <> oracle then begin
+          Format.printf
+            "probe verdict MISMATCH: certified %d/%d reachable, oracle says %d/%d@."
+            (count reachable) (Array.length reachable) (count oracle) (Array.length oracle);
+          exit 1
+        end;
+        (* remove suspected links, then keep the reachable component *)
+        let bad u v = List.mem (u, v) suspected || List.mem (v, u) suspected in
+        let quads =
+          Array.to_list (Digraph.edges g)
+          |> List.filter (fun (e : Digraph.edge) ->
+                 reachable.(e.src) && reachable.(e.dst) && not (bad e.src e.dst))
+          |> List.map (fun (e : Digraph.edge) -> (e.src, e.dst, e.weight, e.label))
+        in
+        let pruned =
+          Digraph.create_labeled ~directed:(Digraph.directed g) (Digraph.n g) quads
+        in
+        let g', old_of_new, new_of_old =
+          Digraph.induced pruned (Repro_graph.Mask.vertices reachable)
+        in
+        Format.printf "degraded mode: running on the certified component (%d/%d nodes)@."
+          (Digraph.n g') (Digraph.n g);
+        Some (g', old_of_new, new_of_old)
+  end

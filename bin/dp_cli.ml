@@ -26,9 +26,22 @@ let problem_conv =
   in
   Arg.conv (parse, print)
 
-let run g problem terminals width_cap obs =
+let run g problem terminals width_cap fc obs =
   Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
+  Cli_common.print_fault_config fc;
+  (* permanent partitions / crash-stops: certify the reachable component,
+     then solve on the certified subgraph (terminal ids are remapped) *)
+  let g, terminals =
+    match Cli_common.certified_subgraph fc obs g ~root:0 with
+    | None -> (g, terminals)
+    | Some (g', _, new_of_old) ->
+        let kept, lost = List.partition (fun t -> new_of_old.(t) >= 0) terminals in
+        if lost <> [] then
+          Format.printf "dropping unreachable terminal(s): {%s}@."
+            (String.concat "," (List.map string_of_int lost));
+        (g', List.map (fun t -> new_of_old.(t)) kept)
+  in
   let metrics = Metrics.create () in
   let report = Build.decompose g ~metrics in
   let dec =
@@ -88,6 +101,6 @@ let cmd =
     (Cmd.info "dp_cli" ~doc:"NP-hard optimization over a tree decomposition")
     Term.(
       const run $ Cli_common.graph_t $ problem_t $ terminals_t $ width_cap_t
-      $ Cli_common.obs_t)
+      $ Cli_common.fault_config_t $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

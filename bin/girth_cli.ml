@@ -23,6 +23,13 @@ let run g mode fc obs =
   Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
   Cli_common.print_fault_config fc;
+  (* permanent partitions / crash-stops: certify the reachable component
+     first, then compute the girth of the certified subgraph fault-free *)
+  let g, fc =
+    match Cli_common.certified_subgraph fc obs g ~root:0 with
+    | None -> (g, fc)
+    | Some (g', _, _) -> (g', { fc with Cli_common.faults = None })
+  in
   let faults = fc.Cli_common.faults and reliable = fc.Cli_common.reliable in
   let m = Metrics.create () in
   let r =

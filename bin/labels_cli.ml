@@ -35,9 +35,20 @@ let load_labels path =
        with End_of_file -> ());
       Array.of_list (List.rev !out))
 
-let precompute g out obs =
+let precompute g out fc obs =
   Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
+  Cli_common.print_fault_config fc;
+  (* permanent partitions / crash-stops: label only the certified
+     component (labels are then indexed by component-local ids) *)
+  let g =
+    match Cli_common.certified_subgraph fc obs g ~root:0 with
+    | None -> g
+    | Some (g', _, _) ->
+        Format.printf "labels cover the certified component, re-indexed 0..%d@."
+          (Repro_graph.Digraph.n g' - 1);
+        g'
+  in
   let m = Metrics.create () in
   let report = Build.decompose g ~metrics:m in
   let labels = Dl.build g report.Build.decomposition ~metrics:m in
@@ -78,7 +89,9 @@ let pairs_t =
 let precompute_cmd =
   Cmd.v
     (Cmd.info "precompute" ~doc:"Build labels for a graph and save them")
-    Term.(const precompute $ Cli_common.graph_t $ out_t $ Cli_common.obs_t)
+    Term.(
+      const precompute $ Cli_common.graph_t $ out_t $ Cli_common.fault_config_t
+      $ Cli_common.obs_t)
 
 let query_cmd =
   Cmd.v

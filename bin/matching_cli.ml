@@ -7,10 +7,18 @@ module Metrics = Repro_congest.Metrics
 module Matching = Repro_core.Matching
 open Cmdliner
 
-let run g subdivide baseline obs =
+let run g subdivide baseline fc obs =
   Cli_common.setup_obs obs;
   let g = if subdivide then Generators.subdivide g else g in
   Cli_common.print_graph_summary g;
+  Cli_common.print_fault_config fc;
+  (* permanent partitions / crash-stops: match within the certified
+     reachable component only *)
+  let g =
+    match Cli_common.certified_subgraph fc obs g ~root:0 with
+    | None -> g
+    | Some (g', _, _) -> g'
+  in
   if not (Repro_graph.Bipartite.is_bipartite g) then begin
     Format.printf
       "graph is not bipartite — pass --subdivide to use its bipartite subdivision@.";
@@ -41,6 +49,8 @@ let baseline_t =
 let cmd =
   Cmd.v
     (Cmd.info "matching_cli" ~doc:"Exact bipartite maximum matching (Theorem 4)")
-    Term.(const run $ Cli_common.graph_t $ subdivide_t $ baseline_t $ Cli_common.obs_t)
+    Term.(
+      const run $ Cli_common.graph_t $ subdivide_t $ baseline_t
+      $ Cli_common.fault_config_t $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

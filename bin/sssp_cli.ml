@@ -17,6 +17,15 @@ let run g source fc obs =
   Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
   Cli_common.print_fault_config fc;
+  (* permanent partitions / crash-stops: certify the reachable component
+     first, then run the pipeline on it (fault-free — the adversary's
+     node ids refer to the original graph) *)
+  let g, source, fc =
+    match Cli_common.certified_subgraph fc obs g ~root:source with
+    | None -> (g, source, fc)
+    | Some (g', _, new_of_old) ->
+        (g', new_of_old.(source), { fc with Cli_common.faults = None })
+  in
   let faults = fc.Cli_common.faults
   and reliable = fc.Cli_common.reliable
   and recovery = fc.Cli_common.recovery in

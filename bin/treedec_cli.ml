@@ -7,9 +7,17 @@ module Heuristic = Repro_treedec.Heuristic
 module Build = Repro_treedec.Build
 open Cmdliner
 
-let run g show_bags obs =
+let run g show_bags fc obs =
   Cli_common.setup_obs obs;
   Cli_common.print_graph_summary g;
+  Cli_common.print_fault_config fc;
+  (* permanent partitions / crash-stops: decompose the certified
+     reachable component only *)
+  let g =
+    match Cli_common.certified_subgraph fc obs g ~root:0 with
+    | None -> g
+    | Some (g', _, _) -> g'
+  in
   let m = Metrics.create () in
   let report = Build.decompose g ~metrics:m in
   let dec = report.Build.decomposition in
@@ -39,6 +47,8 @@ let show_bags_t =
 let cmd =
   Cmd.v
     (Cmd.info "treedec_cli" ~doc:"Distributed tree decomposition (Theorem 1)")
-    Term.(const run $ Cli_common.graph_t $ show_bags_t $ Cli_common.obs_t)
+    Term.(
+      const run $ Cli_common.graph_t $ show_bags_t $ Cli_common.fault_config_t
+      $ Cli_common.obs_t)
 
 let () = exit (Cmd.eval cmd)

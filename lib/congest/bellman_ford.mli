@@ -20,3 +20,22 @@ val run :
   source:int ->
   metrics:Metrics.t ->
   int array
+
+(** [run_certified g ~source ~metrics] runs the relaxation over the
+    reliable transport under a heartbeat failure {!Detector} and also
+    returns the detector's verdict: [Complete] when the distances are
+    exact everywhere, [Partial] with the certified reachable component
+    on which they are exact (everything else stays at inf) — the
+    degraded-mode contract under permanent partitions or crash-stops.
+    [period]/[timeout]/[max_retries] tune the detector and the
+    transport retry budget ({!Detector.Make.run}). *)
+val run_certified :
+  ?faults:Fault.t ->
+  ?jitter_seed:int ->
+  ?period:int ->
+  ?timeout:int ->
+  ?max_retries:int ->
+  Repro_graph.Digraph.t ->
+  source:int ->
+  metrics:Metrics.t ->
+  int array * Detector.verdict

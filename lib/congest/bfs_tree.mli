@@ -29,5 +29,25 @@ val build :
   metrics:Metrics.t ->
   tree
 
+(** [build_certified skeleton ~root ~metrics] runs the flood over the
+    reliable transport under a heartbeat failure {!Detector} and also
+    returns the detector's verdict: [Complete] when no node ended up
+    suspecting a neighbor (the tree covers the whole graph), or
+    [Partial] with the certified reachable component (the tree is exact
+    on it; everything else has distance inf). This is the degraded-mode
+    connectivity probe the CLIs run under permanent partitions or
+    crash-stops. [period]/[timeout]/[max_retries] tune the detector and
+    the transport's retry budget ({!Detector.Make.run}). *)
+val build_certified :
+  ?faults:Fault.t ->
+  ?jitter_seed:int ->
+  ?period:int ->
+  ?timeout:int ->
+  ?max_retries:int ->
+  Repro_graph.Digraph.t ->
+  root:int ->
+  metrics:Metrics.t ->
+  tree * Detector.verdict
+
 (** [children t v] lists the tree children of [v]. O(n) per call. *)
 val children : tree -> int -> int list

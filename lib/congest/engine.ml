@@ -38,7 +38,7 @@ module Make (M : MSG) = struct
   type inbox = (int * M.t) list
   type outbox = (int * M.t) list
 
-  let run skeleton ~init ~step ~active ?faults ?on_restart ?audit
+  let run skeleton ~init ~step ~active ?faults ?on_restart ?corrupt ?audit
       ?(max_rounds = 10_000_000) ?(max_words = default_max_words) ~metrics ~label () =
     if Digraph.directed skeleton then
       invalid_arg "Engine.run: communication network must be undirected";
@@ -63,8 +63,8 @@ module Make (M : MSG) = struct
       | None -> fun ~round:_ ~node -> init node
     in
     let in_flight = ref false in
-    (* copies held back by a delay fault:
-       (deliver_round, dst, src, msg, words measured at send, send_round) *)
+    (* copies held back by a delay fault: (deliver_round, dst, src, msg,
+       words measured at send, send_round, corrupted in flight) *)
     let delayed = ref [] in
     let sink = !trace_sink in
     let tracing = sink.Repro_obs.Sink.enabled in
@@ -72,7 +72,8 @@ module Make (M : MSG) = struct
     (match faults with Some f -> Fault.begin_run f | None -> ());
     if tracing then begin
       emit (Repro_obs.Event.Run_start { label; faulty = Option.is_some faults });
-      (* static crash windows up front so replay can rebuild the profile *)
+      (* static crash/partition windows up front so replay can rebuild
+         the profile *)
       match faults with
       | None -> ()
       | Some f ->
@@ -86,12 +87,54 @@ module Make (M : MSG) = struct
                      until_round = c.until_round;
                      amnesia = c.mode = Fault.Amnesia;
                    }))
-            (Fault.profile_of f).crashes
+            (Fault.profile_of f).crashes;
+          List.iter
+            (fun (p : Fault.partition) ->
+              let links, nodes =
+                match p.cut with
+                | Fault.Links es -> (es, [])
+                | Fault.Around vs -> ([], vs)
+              in
+              emit
+                (Repro_obs.Event.Partition_window
+                   { links; nodes; from_round = p.from_round; heal_round = p.heal_round }))
+            (Fault.profile_of f).partitions
     end;
     (* last observed up/down status per node, for crash/restart
        transition events (allocated only when tracing) *)
     let prev_down = Array.make (if tracing then n else 0) false in
     let crashed v = match faults with None -> false | Some f -> Fault.crashed f ~round:!round v in
+    let link_down src dst =
+      match faults with
+      | None -> false
+      | Some f -> Fault.link_down f ~round:!round ~src ~dst
+    in
+    (* per-link up/down transitions for Partition/Heal trace events;
+       only maintained when tracing a profile that has partitions *)
+    let partitioned =
+      match faults with
+      | Some f -> (Fault.profile_of f).partitions <> []
+      | None -> false
+    in
+    let skeleton_edges =
+      if tracing && partitioned then Digraph.edges skeleton else [||]
+    in
+    let prev_link_down = Array.make (Array.length skeleton_edges) false in
+    let emit_link_transitions () =
+      Array.iteri
+        (fun i (e : Digraph.edge) ->
+          let down = link_down e.Digraph.src e.Digraph.dst in
+          if down <> prev_link_down.(i) then
+            emit
+              (if down then
+                 Repro_obs.Event.Partition
+                   { round = !round; src = e.Digraph.src; dst = e.Digraph.dst }
+               else
+                 Repro_obs.Event.Heal
+                   { round = !round; src = e.Digraph.src; dst = e.Digraph.dst });
+          prev_link_down.(i) <- down)
+        skeleton_edges
+    in
     let live_active v =
       active states.(v)
       && match faults with
@@ -188,7 +231,8 @@ module Make (M : MSG) = struct
                   (if down then Repro_obs.Event.Crash { round = !round; node = v }
                    else Repro_obs.Event.Restart { round = !round; node = v });
               prev_down.(v) <- down
-            done
+            done;
+            emit_link_transitions ()
       end;
       (match faults with
       | Some f ->
@@ -206,11 +250,20 @@ module Make (M : MSG) = struct
          when the copy was accepted; in audit mode the copy is re-measured
          on delivery so a sender mutating a message after handing it to the
          network is caught. *)
-      let deliver ~send_round ~deliver_round ~words dst src msg =
+      let deliver ~send_round ~deliver_round ~words ?(corrupted = false) dst src msg =
         let receiver_down =
           match faults with
           | None -> false
           | Some f -> Fault.crashed f ~round:deliver_round dst
+        in
+        (* a corrupted copy is garbled on delivery: the layer above maps
+           it through its [corrupt] transform (and must preserve the word
+           count — audit re-measures below); with no transform installed
+           the copy is undecodable garbage and is discarded like a
+           frame-level CRC failure *)
+        let msg, garbled_drop =
+          if not corrupted then (msg, false)
+          else match corrupt with Some f -> (f msg, false) | None -> (msg, true)
         in
         if audit then begin
           let now = M.words msg in
@@ -218,8 +271,9 @@ module Make (M : MSG) = struct
             violation
               (Printf.sprintf
                  "message %d -> %d measured %d words at send but %d words at delivery \
-                  (mutated in flight?)"
-                 src dst words now)
+                  (mutated in flight%s?)"
+                 src dst words now
+                 (if corrupted then ", or size-changing corrupt transform" else ""))
         end;
         if receiver_down then begin
           Metrics.add_dropped metrics 1;
@@ -228,6 +282,14 @@ module Make (M : MSG) = struct
             emit
               (Repro_obs.Event.Drop
                  { send_round; round = deliver_round; src; dst; words; reason = Receiver_down })
+        end
+        else if garbled_drop then begin
+          Metrics.add_dropped metrics 1;
+          if audit then incr a_dropped;
+          if tracing then
+            emit
+              (Repro_obs.Event.Drop
+                 { send_round; round = deliver_round; src; dst; words; reason = Garbled })
         end
         else begin
           next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst);
@@ -281,6 +343,22 @@ module Make (M : MSG) = struct
                 emit (Repro_obs.Event.Send { round = !round; src = v; dst = u; words = w });
               match faults with
               | None -> deliver ~send_round:!round ~deliver_round:(!round + 1) ~words:w u v msg
+              | Some _ when link_down v u ->
+                  (* deterministic partition drop, decided before [plan]
+                     so severed sends consume no adversary randomness *)
+                  Metrics.add_dropped metrics 1;
+                  if audit then incr a_dropped;
+                  if tracing then
+                    emit
+                      (Repro_obs.Event.Drop
+                         {
+                           send_round = !round;
+                           round = !round;
+                           src = v;
+                           dst = u;
+                           words = w;
+                           reason = Severed;
+                         })
               | Some f -> (
                   match Fault.plan f ~round:!round ~src:v ~dst:u with
                   | [] ->
@@ -297,44 +375,48 @@ module Make (M : MSG) = struct
                                words = w;
                                reason = Link;
                              })
-                  | delays ->
-                      if List.length delays > 1 then begin
-                        Metrics.add_duplicated metrics (List.length delays - 1);
-                        if audit then a_duplicated := !a_duplicated + List.length delays - 1;
+                  | fates ->
+                      if List.length fates > 1 then begin
+                        Metrics.add_duplicated metrics (List.length fates - 1);
+                        if audit then a_duplicated := !a_duplicated + List.length fates - 1;
                         if tracing then
                           emit
                             (Repro_obs.Event.Duplicate
-                               { round = !round; src = v; dst = u; copies = List.length delays })
+                               { round = !round; src = v; dst = u; copies = List.length fates })
                       end;
                       List.iter
-                        (fun extra ->
+                        (fun { Fault.extra; corrupt = corrupted } ->
+                          let deliver_round = !round + 1 + extra in
+                          if corrupted then begin
+                            Metrics.add_corrupted metrics 1;
+                            if tracing then
+                              emit
+                                (Repro_obs.Event.Corrupt
+                                   { send_round = !round; deliver_round; src = v; dst = u })
+                          end;
                           if extra = 0 then
-                            deliver ~send_round:!round ~deliver_round:(!round + 1) ~words:w u v
+                            deliver ~send_round:!round ~deliver_round ~words:w ~corrupted u v
                               msg
                           else begin
-                            delayed := (!round + 1 + extra, u, v, msg, w, !round) :: !delayed;
+                            delayed :=
+                              (deliver_round, u, v, msg, w, !round, corrupted) :: !delayed;
                             if tracing then
                               emit
                                 (Repro_obs.Event.Delay
-                                   {
-                                     round = !round;
-                                     src = v;
-                                     dst = u;
-                                     deliver_round = !round + 1 + extra;
-                                   })
+                                   { round = !round; src = v; dst = u; deliver_round })
                           end)
-                        delays))
+                        fates))
             outbox
         end
       done;
       (* copies whose delay matured this round join the next inboxes *)
       let matured, still_held =
-        List.partition (fun (dr, _, _, _, _, _) -> dr = !round + 1) !delayed
+        List.partition (fun (dr, _, _, _, _, _, _) -> dr = !round + 1) !delayed
       in
       delayed := still_held;
       List.iter
-        (fun (dr, dst, src, msg, w, sr) ->
-          deliver ~send_round:sr ~deliver_round:dr ~words:w dst src msg)
+        (fun (dr, dst, src, msg, w, sr, corrupted) ->
+          deliver ~send_round:sr ~deliver_round:dr ~words:w ~corrupted dst src msg)
         matured;
       Array.blit next_inboxes 0 inboxes 0 n;
       in_flight := Array.exists (fun ib -> ib <> []) inboxes;

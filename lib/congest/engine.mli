@@ -99,10 +99,26 @@ module Make (M : MSG) : sig
         (messages already delivered into the restart round's inbox are
         kept — they arrive after the reboot). Executions are kept alive
         while an amnesia outage is in progress so the restart runs.
+        A send on a link severed by an active partition window is
+        dropped deterministically {e before} the adversary's random
+        per-copy decisions (so partitions replay exactly and consume no
+        randomness); a copy already in flight when a cut lands still
+        arrives — the cut severs new transmissions. Corrupted copies
+        are charged to [Metrics.add_corrupted] and handled per
+        [corrupt] below.
       - [on_restart ~round ~node], when given, replaces [init] for
         rebuilding the state of an amnesia-restarted node (default:
         re-run [init]). Layered protocols use it to bump connection
         epochs ({!Transport}) or reload checkpoints ({!Recovery}).
+      - [corrupt], when given, maps each adversary-corrupted copy
+        through this transform at delivery time — the layer above
+        decides what "garbled" means for its message type ({!Transport}
+        invalidates its packet checksum). The transform must preserve
+        [M.words] (audit mode re-measures on delivery and raises
+        otherwise). When absent, a corrupted copy is undecodable
+        garbage: it is discarded at delivery time like a frame-level
+        CRC failure (a [Drop] with reason [Garbled], charged as
+        dropped).
       - [audit], when true (default: {!audit_enabled}), cross-checks the
         conservation invariants documented on {!Audit_violation} at the
         end of every round.
@@ -121,6 +137,7 @@ module Make (M : MSG) : sig
     active:('st -> bool) ->
     ?faults:Fault.t ->
     ?on_restart:(round:int -> node:int -> 'st) ->
+    ?corrupt:(M.t -> M.t) ->
     ?audit:bool ->
     ?max_rounds:int ->
     ?max_words:int ->

@@ -2,28 +2,53 @@ type mode = Freeze | Amnesia
 
 type crash = { node : int; from_round : int; until_round : int option; mode : mode }
 
+type cut = Links of (int * int) list | Around of int list
+
+type partition = { cut : cut; from_round : int; heal_round : int option }
+
 type profile = {
   drop : float;
   duplicate : float;
   max_delay : int;
+  corrupt : float;
   crashes : crash list;
+  partitions : partition list;
 }
 
-let reliable = { drop = 0.0; duplicate = 0.0; max_delay = 0; crashes = [] }
+let reliable =
+  { drop = 0.0; duplicate = 0.0; max_delay = 0; corrupt = 0.0; crashes = []; partitions = [] }
 
 let crash ?until ?(mode = Freeze) ~from node =
   { node; from_round = from; until_round = until; mode }
 
-let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(crashes = []) () =
+let partition ?heal ~from cut = { cut; from_round = from; heal_round = heal }
+
+let check_partition p =
+  (match p.cut with
+  | Links [] | Around [] -> invalid_arg "Fault.profile: empty partition cut"
+  | Links es ->
+      List.iter
+        (fun (a, b) -> if a = b then invalid_arg "Fault.profile: partition self-loop link")
+        es
+  | Around _ -> ());
+  if p.from_round < 0 then invalid_arg "Fault.profile: negative partition round";
+  match p.heal_round with
+  | Some h when h <= p.from_round ->
+      invalid_arg "Fault.profile: partition heals before it starts"
+  | _ -> ()
+
+let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(corrupt = 0.0)
+    ?(crashes = []) ?(partitions = []) () =
   let check_prob name p =
     if p < 0.0 || p >= 1.0 then
       invalid_arg (Printf.sprintf "Fault.profile: %s=%g outside [0,1)" name p)
   in
   check_prob "drop" drop;
   check_prob "duplicate" duplicate;
+  check_prob "corrupt" corrupt;
   if max_delay < 0 then invalid_arg "Fault.profile: negative max_delay";
   List.iter
-    (fun c ->
+    (fun (c : crash) ->
       if c.from_round < 0 then invalid_arg "Fault.profile: negative crash round";
       match (c.until_round, c.mode) with
       | Some u, _ when u <= c.from_round ->
@@ -34,7 +59,14 @@ let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(crashes = []) ()
              or give it an until_round)"
       | _ -> ())
     crashes;
-  { drop; duplicate; max_delay; crashes }
+  List.iter check_partition partitions;
+  { drop; duplicate; max_delay; corrupt; crashes; partitions }
+
+(* A copy's fate once it survives the partition check: how many extra
+   rounds it is held, and whether its payload is garbled in flight. *)
+type fate = { extra : int; corrupt : bool }
+
+let intact extra = { extra; corrupt = false }
 
 (* Two ways to decide message fates: the seeded random process, or a
    recorded schedule being replayed (Repro_obs.Replay feeds one in via
@@ -43,7 +75,7 @@ let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(crashes = []) ()
    run — so the engine announces run boundaries with [begin_run]. *)
 type decider =
   | Rng of Random.State.t
-  | Scripted of (run:int -> round:int -> src:int -> dst:int -> int list)
+  | Scripted of (run:int -> round:int -> src:int -> dst:int -> fate list)
 
 type t = { p : profile; decider : decider; seed : int; mutable run : int }
 
@@ -55,8 +87,8 @@ let create ?(seed = 0) p =
     run = -1;
   }
 
-let scripted ?(crashes = []) plan =
-  { p = profile ~crashes (); decider = Scripted plan; seed = 0; run = -1 }
+let scripted ?(crashes = []) ?(partitions = []) plan =
+  { p = profile ~crashes ~partitions (); decider = Scripted plan; seed = 0; run = -1 }
 
 let begin_run t = t.run <- t.run + 1
 let profile_of t = t.p
@@ -72,10 +104,14 @@ let plan t ~round ~src ~dst =
           if p.duplicate > 0.0 && Random.State.float rng 1.0 < p.duplicate then 2 else 1
         in
         List.init copies (fun _ ->
-            if p.max_delay = 0 then 0 else Random.State.int rng (p.max_delay + 1))
+            let extra =
+              if p.max_delay = 0 then 0 else Random.State.int rng (p.max_delay + 1)
+            in
+            let corrupt = p.corrupt > 0.0 && Random.State.float rng 1.0 < p.corrupt in
+            { extra; corrupt })
       end
 
-let in_window c ~round =
+let in_window (c : crash) ~round =
   round >= c.from_round
   && (match c.until_round with None -> true | Some u -> round < u)
 
@@ -85,6 +121,9 @@ let crash_stopped t ~round v =
   List.exists
     (fun c -> c.node = v && c.until_round = None && round >= c.from_round)
     t.p.crashes
+
+let eventually_down t v =
+  List.exists (fun c -> c.node = v && c.until_round = None) t.p.crashes
 
 let restarted t ~round v =
   (not (crashed t ~round v))
@@ -103,15 +142,162 @@ let amnesia_in_progress t ~round =
       && match c.until_round with Some u -> round <= u | None -> false)
     t.p.crashes
 
+(* --------------------------------------------------------- partitions *)
+
+let cut_covers cut ~src ~dst =
+  match cut with
+  | Links es -> List.exists (fun (a, b) -> (a = src && b = dst) || (a = dst && b = src)) es
+  | Around vs -> List.mem src vs || List.mem dst vs
+
+let partition_active p ~round =
+  round >= p.from_round
+  && (match p.heal_round with None -> true | Some h -> round < h)
+
+let link_down t ~round ~src ~dst =
+  List.exists
+    (fun p -> partition_active p ~round && cut_covers p.cut ~src ~dst)
+    t.p.partitions
+
+let severed t ~src ~dst =
+  List.exists
+    (fun p -> p.heal_round = None && cut_covers p.cut ~src ~dst)
+    t.p.partitions
+
+(* ------------------------------------------------- CLI spec grammar *)
+(* The --crash/--partition specs live here (not in bin/) so the parser
+   and printer stay one inverse pair under test: [parse_* s] followed by
+   [pp_*] yields a canonical spec that parses back to the same value. *)
+
+let pp_crash fmt (c : crash) =
+  Format.fprintf fmt "%d:%d" c.node c.from_round;
+  match (c.until_round, c.mode) with
+  | None, _ -> ()
+  | Some u, Freeze -> Format.fprintf fmt ":%d" u
+  | Some u, Amnesia -> Format.fprintf fmt ":%d:amnesia" u
+
+let crash_grammar = "NODE:FROM[:UNTIL[:MODE]] with MODE in {freeze, amnesia}"
+
+let parse_crash s =
+  let err field what got why =
+    Error
+      (Printf.sprintf "field %d (%s) %S %s; expected %s" field what got why crash_grammar)
+  in
+  let int_field idx name v =
+    match int_of_string_opt (String.trim v) with
+    | Some i -> Ok i
+    | None -> err idx name v "is not an integer"
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' s with
+  | [ node; from ] ->
+      let* node = int_field 1 "NODE" node in
+      let* from = int_field 2 "FROM" from in
+      Ok (crash node ~from)
+  | [ node; from; until ] ->
+      let* node = int_field 1 "NODE" node in
+      let* from = int_field 2 "FROM" from in
+      let* until = int_field 3 "UNTIL" until in
+      Ok (crash node ~from ~until)
+  | [ node; from; until; mode ] ->
+      let* node = int_field 1 "NODE" node in
+      let* from = int_field 2 "FROM" from in
+      let* until = int_field 3 "UNTIL" until in
+      let* mode =
+        match String.trim mode with
+        | "freeze" -> Ok Freeze
+        | "amnesia" -> Ok Amnesia
+        | m -> err 4 "MODE" m "is not a crash mode"
+      in
+      Ok (crash node ~from ~until ~mode)
+  | parts ->
+      Error
+        (Printf.sprintf "%d field(s), want 2-4; expected %s" (List.length parts)
+           crash_grammar)
+
+let pp_partition fmt (p : partition) =
+  (match p.cut with
+  | Links es ->
+      Format.pp_print_string fmt
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) es))
+  | Around vs ->
+      Format.fprintf fmt "@@%s" (String.concat "," (List.map string_of_int vs)));
+  Format.fprintf fmt ":%d" p.from_round;
+  match p.heal_round with None -> () | Some h -> Format.fprintf fmt ":%d" h
+
+let partition_grammar =
+  "CUT:FROM[:HEAL] with CUT either links u-v[,u-v...] or a vertex cut @n[,n...]"
+
+let parse_partition s =
+  let err field what got why =
+    Error
+      (Printf.sprintf "field %d (%s) %S %s; expected %s" field what got why
+         partition_grammar)
+  in
+  let int_field idx name v =
+    match int_of_string_opt (String.trim v) with
+    | Some i -> Ok i
+    | None -> err idx name v "is not an integer"
+  in
+  let ( let* ) = Result.bind in
+  let parse_cut cutspec =
+    let cutspec = String.trim cutspec in
+    if cutspec = "" then err 1 "CUT" cutspec "is empty"
+    else if cutspec.[0] = '@' then
+      let body = String.sub cutspec 1 (String.length cutspec - 1) in
+      let* vs =
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match int_of_string_opt (String.trim v) with
+            | Some i -> Ok (i :: acc)
+            | None -> err 1 "CUT" cutspec (Printf.sprintf "has non-integer node %S" v))
+          (Ok []) (String.split_on_char ',' body)
+      in
+      Ok (Around (List.rev vs))
+    else
+      let* es =
+        List.fold_left
+          (fun acc l ->
+            let* acc = acc in
+            match String.split_on_char '-' (String.trim l) with
+            | [ a; b ] -> (
+                match (int_of_string_opt a, int_of_string_opt b) with
+                | Some a, Some b -> Ok ((a, b) :: acc)
+                | _ -> err 1 "CUT" cutspec (Printf.sprintf "has non-integer link %S" l))
+            | _ -> err 1 "CUT" cutspec (Printf.sprintf "has malformed link %S (want u-v)" l))
+          (Ok []) (String.split_on_char ',' cutspec)
+      in
+      Ok (Links (List.rev es))
+  in
+  match String.split_on_char ':' s with
+  | [ cutspec; from ] ->
+      let* cut = parse_cut cutspec in
+      let* from = int_field 2 "FROM" from in
+      Ok (partition ~from cut)
+  | [ cutspec; from; heal ] ->
+      let* cut = parse_cut cutspec in
+      let* from = int_field 2 "FROM" from in
+      let* heal = int_field 3 "HEAL" heal in
+      Ok (partition ~from ~heal cut)
+  | parts ->
+      Error
+        (Printf.sprintf "%d field(s), want 2-3; expected %s" (List.length parts)
+           partition_grammar)
+
 let pp fmt t =
   let amnesia = List.length (List.filter (fun c -> c.mode = Amnesia) t.p.crashes) in
   match t.decider with
   | Scripted _ ->
-      Format.fprintf fmt "faults(scripted crashes=%d amnesia=%d)"
+      Format.fprintf fmt "faults(scripted crashes=%d amnesia=%d partitions=%d)"
         (List.length t.p.crashes)
         amnesia
+        (List.length t.p.partitions)
   | Rng _ ->
-      Format.fprintf fmt "faults(seed=%d drop=%g dup=%g delay<=%d crashes=%d amnesia=%d)"
-        t.seed t.p.drop t.p.duplicate t.p.max_delay
+      Format.fprintf fmt
+        "faults(seed=%d drop=%g dup=%g delay<=%d corrupt=%g crashes=%d amnesia=%d \
+         partitions=%d)"
+        t.seed t.p.drop t.p.duplicate t.p.max_delay t.p.corrupt
         (List.length t.p.crashes)
         amnesia
+        (List.length t.p.partitions)

@@ -3,7 +3,7 @@
     The paper's model (Section 2.1) assumes perfectly reliable synchronous
     links. This module relaxes that assumption so experiments can measure
     how fragile the reproduced algorithms are and what reliability costs
-    in rounds (experiment E-F1, DESIGN.md "Fault model").
+    in rounds (experiments E-F1..E-F3, DESIGN.md "Fault model").
 
     The adversary is an oblivious, seeded random process
     ({!Random.State}-based, the same seeding idiom as
@@ -17,6 +17,13 @@
     - [max_delay]: each copy is held a uniform number of extra rounds in
       [0..max_delay] (delays of distinct copies are independent, so a
       duplicated message can be reordered against later traffic);
+    - [corrupt]: each surviving copy has its payload garbled in flight
+      with this probability. The engine treats a corrupted copy as
+      undecodable garbage and discards it (frame-level CRC semantics)
+      unless the layer above supplies a corruption transform — see
+      [?corrupt] on {!Engine.Make.run}; {!Transport} supplies one that
+      invalidates the packet checksum, so corruption becomes visible to
+      (and survivable by) its integrity sublayer;
     - [crashes]: per-node round windows during which the node neither
       steps, sends, nor receives; messages addressed to it are dropped.
       A window with [until_round = None] is crash-stop; with [Some r] the
@@ -26,7 +33,14 @@
       loses all volatile state — the engine re-runs [init] (or the
       [on_restart] hook, see {!Engine.Make.run}) at the restart round,
       which is how real processes come back. Layer {!Recovery} on top to
-      survive amnesia with oracle-exact outputs. *)
+      survive amnesia with oracle-exact outputs;
+    - [partitions]: persistent link faults. Each window takes a {!cut}
+      (an explicit link set, or a vertex cut = every link incident to a
+      listed node) down from [from_round], either forever
+      ([heal_round = None]) or until it heals. Unlike [drop], a severed
+      link loses {e every} copy, deterministically — no retransmission
+      count gets a message across before the heal. Layer {!Detector} on
+      top to detect the unreachable side and certify partial results. *)
 
 (** What a crash-restart node remembers when it comes back up. *)
 type mode =
@@ -49,11 +63,30 @@ type crash = {
     defaults to [Freeze]. *)
 val crash : ?until:int -> ?mode:mode -> from:int -> int -> crash
 
+(** Which links a partition takes down. Links are undirected: listing
+    [(u, v)] severs both directions, matching the engine's undirected
+    communication skeleton. *)
+type cut =
+  | Links of (int * int) list  (** exactly these links. *)
+  | Around of int list  (** every link incident to a listed node. *)
+
+type partition = {
+  cut : cut;
+  from_round : int;  (** first round the cut is down. *)
+  heal_round : int option;
+      (** [None] = never heals; [Some r] = links are back from round [r]. *)
+}
+
+(** [partition ~from ?heal cut] builds a partition window. *)
+val partition : ?heal:int -> from:int -> cut -> partition
+
 type profile = {
   drop : float;  (** per-copy loss probability, in [0, 1). *)
   duplicate : float;  (** per-message duplication probability, in [0, 1). *)
   max_delay : int;  (** max extra rounds a copy may be held; >= 0. *)
+  corrupt : float;  (** per-copy payload-corruption probability, in [0, 1). *)
   crashes : crash list;
+  partitions : partition list;
 }
 
 (** All-zero profile (the adversary does nothing). *)
@@ -62,10 +95,26 @@ val reliable : profile
 (** [profile ()] builds a profile from the given dimensions; everything
     omitted defaults to the {!reliable} value.
 
-    @raise Invalid_argument if a probability is outside [0, 1) or
-    [max_delay] is negative. *)
+    @raise Invalid_argument if a probability is outside [0, 1),
+    [max_delay] is negative, a crash or partition window is inverted, or
+    a partition cut is empty or contains a self-loop link. *)
 val profile :
-  ?drop:float -> ?duplicate:float -> ?max_delay:int -> ?crashes:crash list -> unit -> profile
+  ?drop:float ->
+  ?duplicate:float ->
+  ?max_delay:int ->
+  ?corrupt:float ->
+  ?crashes:crash list ->
+  ?partitions:partition list ->
+  unit ->
+  profile
+
+(** The fate of one surviving message copy: held [extra] extra rounds
+    ([0] = normal next-round delivery), payload garbled iff [corrupt]. *)
+type fate = { extra : int; corrupt : bool }
+
+(** [intact d] is [{ extra = d; corrupt = false }] — the fate of an
+    unmolested (possibly delayed) copy. *)
+val intact : int -> fate
 
 type t
 
@@ -74,17 +123,23 @@ type t
     same order. *)
 val create : ?seed:int -> profile -> t
 
-(** [scripted ?crashes plan] builds an adversary that replays a
-    recorded delivery schedule instead of rolling dice: [plan] is
-    consulted for every send exactly like {!plan} below, additionally
+(** [scripted ?crashes ?partitions plan] builds an adversary that
+    replays a recorded delivery schedule instead of rolling dice: [plan]
+    is consulted for every send exactly like {!plan} below, additionally
     keyed by which engine run of the process is asking (see
-    {!begin_run}); [crashes] replays the recorded crash windows. Used
-    by [--replay] (the schedule comes from [Repro_obs.Replay]); the
-    random dimensions of the profile are all zero.
+    {!begin_run}); [crashes] and [partitions] replay the recorded
+    deterministic windows (the engine re-applies partition drops itself,
+    so [plan] is never consulted about a severed send). Used by
+    [--replay] (the schedule comes from [Repro_obs.Replay]); the random
+    dimensions of the profile are all zero.
 
-    @raise Invalid_argument if [crashes] is invalid (as {!profile}). *)
+    @raise Invalid_argument if [crashes] or [partitions] is invalid (as
+    {!profile}). *)
 val scripted :
-  ?crashes:crash list -> (run:int -> round:int -> src:int -> dst:int -> int list) -> t
+  ?crashes:crash list ->
+  ?partitions:partition list ->
+  (run:int -> round:int -> src:int -> dst:int -> fate list) ->
+  t
 
 (** [begin_run t] announces that a new [Engine.run] is starting; the
     engine calls it once per run. Scripted deciders use the resulting
@@ -95,10 +150,12 @@ val begin_run : t -> unit
 val profile_of : t -> profile
 
 (** [plan t ~round ~src ~dst] decides the fate of one message sent on link
-    [src -> dst] at [round]: the returned list holds one extra-round delay
-    per copy to deliver ([0] = normal next-round delivery). [[]] means the
-    message is dropped; a two-element list means it was duplicated. *)
-val plan : t -> round:int -> src:int -> dst:int -> int list
+    [src -> dst] at [round]: one {!fate} per copy to deliver. [[]] means
+    the message is dropped; a two-element list means it was duplicated.
+    The engine consults {!link_down} {e first} and never calls [plan]
+    for a send on a severed link (so partition drops consume no
+    randomness and replay deterministically). *)
+val plan : t -> round:int -> src:int -> dst:int -> fate list
 
 (** [crashed t ~round v] — is [v] down at [round]? *)
 val crashed : t -> round:int -> int -> bool
@@ -107,6 +164,11 @@ val crashed : t -> round:int -> int -> bool
     restart? The engine excludes such nodes from its liveness check so
     crash-stop schedules cannot livelock an execution. *)
 val crash_stopped : t -> round:int -> int -> bool
+
+(** [eventually_down t v] — does some crash-stop window take [v] down
+    permanently at {e some} round? Connectivity oracles use this (with
+    {!severed}) to compute the true surviving component. *)
+val eventually_down : t -> int -> bool
 
 (** [restarted t ~round v] — does [v] come back up at exactly [round]
     from an [Amnesia] window (and is not covered by another crash window
@@ -123,5 +185,42 @@ val restarted : t -> round:int -> int -> bool
     node's fate unresolved. (A window whose [from_round] is never reached
     because the run ended earlier is a no-op.) *)
 val amnesia_in_progress : t -> round:int -> bool
+
+(** [link_down t ~round ~src ~dst] — is the (undirected) link [src - dst]
+    severed by some active partition window at [round]? Checked by the
+    engine before {!plan} for every send. *)
+val link_down : t -> round:int -> src:int -> dst:int -> bool
+
+(** [severed t ~src ~dst] — is the link [src - dst] cut by a partition
+    that never heals? The building block of the centralized connectivity
+    oracle ({!Detector.oracle}). *)
+val severed : t -> src:int -> dst:int -> bool
+
+(** {2 CLI spec grammar}
+
+    The [--crash]/[--partition] flag grammar lives here, next to the
+    types, so parser and printer stay one tested inverse pair:
+    [parse_* s] followed by [pp_*] yields a canonical spec string that
+    parses back to the same value. Errors name the offending field and
+    restate the grammar. *)
+
+(** Prints [NODE:FROM[:UNTIL[:MODE]]]; [:MODE] only when amnesia,
+    [UNTIL] omitted for crash-stop. *)
+val pp_crash : Format.formatter -> crash -> unit
+
+(** [parse_crash s] parses a [--crash] spec ([NODE:FROM[:UNTIL[:MODE]]],
+    [MODE] in {freeze, amnesia}, default freeze; omitting [UNTIL] makes
+    it a crash-stop). *)
+val parse_crash : string -> (crash, string) result
+
+(** Prints [CUT:FROM[:HEAL]] with [CUT] either [u-v[,u-v...]] or
+    [@n[,n...]]. *)
+val pp_partition : Format.formatter -> partition -> unit
+
+(** [parse_partition s] parses a [--partition] spec: a cut (links
+    [u-v[,u-v...]], or a vertex cut [@n[,n...]] severing every link of
+    the listed nodes), down from round [FROM], healing at [HEAL] if
+    given. *)
+val parse_partition : string -> (partition, string) result
 
 val pp : Format.formatter -> t -> unit

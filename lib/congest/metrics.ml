@@ -6,6 +6,10 @@ type t = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable retransmissions : int;
+  mutable corrupted : int;
+  mutable rejected : int;
+  mutable suspicions : int;
+  mutable link_failures : int;
   mutable checkpoints : int;
   mutable checkpoint_words : int;
   mutable recoveries : int;
@@ -22,6 +26,10 @@ let create () =
     dropped = 0;
     duplicated = 0;
     retransmissions = 0;
+    corrupted = 0;
+    rejected = 0;
+    suspicions = 0;
+    link_failures = 0;
     checkpoints = 0;
     checkpoint_words = 0;
     recoveries = 0;
@@ -42,6 +50,10 @@ let add_delivered t k = t.delivered <- t.delivered + k
 let add_dropped t k = t.dropped <- t.dropped + k
 let add_duplicated t k = t.duplicated <- t.duplicated + k
 let add_retransmissions t k = t.retransmissions <- t.retransmissions + k
+let add_corrupted t k = t.corrupted <- t.corrupted + k
+let add_rejected t k = t.rejected <- t.rejected + k
+let add_suspicions t k = t.suspicions <- t.suspicions + k
+let add_link_failures t k = t.link_failures <- t.link_failures + k
 let add_checkpoints t k = t.checkpoints <- t.checkpoints + k
 let add_checkpoint_words t k = t.checkpoint_words <- t.checkpoint_words + k
 let add_recoveries t k = t.recoveries <- t.recoveries + k
@@ -53,6 +65,10 @@ let delivered t = t.delivered
 let dropped t = t.dropped
 let duplicated t = t.duplicated
 let retransmissions t = t.retransmissions
+let corrupted t = t.corrupted
+let rejected t = t.rejected
+let suspicions t = t.suspicions
+let link_failures t = t.link_failures
 let checkpoints t = t.checkpoints
 let checkpoint_words t = t.checkpoint_words
 let recoveries t = t.recoveries
@@ -71,6 +87,10 @@ let merge ~into src =
   into.dropped <- into.dropped + src.dropped;
   into.duplicated <- into.duplicated + src.duplicated;
   into.retransmissions <- into.retransmissions + src.retransmissions;
+  into.corrupted <- into.corrupted + src.corrupted;
+  into.rejected <- into.rejected + src.rejected;
+  into.suspicions <- into.suspicions + src.suspicions;
+  into.link_failures <- into.link_failures + src.link_failures;
   into.checkpoints <- into.checkpoints + src.checkpoints;
   into.checkpoint_words <- into.checkpoint_words + src.checkpoint_words;
   into.recoveries <- into.recoveries + src.recoveries;
@@ -99,9 +119,9 @@ let to_json ?name t =
   | Some n -> Printf.bprintf buf {|"name":"%s",|} (json_escape n)
   | None -> ());
   Printf.bprintf buf
-    {|"rounds":%d,"messages":%d,"words":%d,"delivered":%d,"dropped":%d,"duplicated":%d,"retransmissions":%d,"checkpoints":%d,"checkpoint_words":%d,"recoveries":%d,"resync_rounds":%d,"labels":{|}
+    {|"rounds":%d,"messages":%d,"words":%d,"delivered":%d,"dropped":%d,"duplicated":%d,"retransmissions":%d,"corrupted":%d,"rejected":%d,"suspicions":%d,"link_failures":%d,"checkpoints":%d,"checkpoint_words":%d,"recoveries":%d,"resync_rounds":%d,"labels":{|}
     t.rounds t.messages t.words t.delivered t.dropped t.duplicated t.retransmissions
-    t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds;
+    t.corrupted t.rejected t.suspicions t.link_failures t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds;
   List.iteri
     (fun i (l, r) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -116,6 +136,10 @@ let pp fmt t =
   if t.dropped > 0 || t.duplicated > 0 || t.retransmissions > 0 then
     Format.fprintf fmt " delivered=%d dropped=%d duplicated=%d retransmissions=%d" t.delivered
       t.dropped t.duplicated t.retransmissions;
+  if t.corrupted > 0 || t.rejected > 0 then
+    Format.fprintf fmt " corrupted=%d rejected=%d" t.corrupted t.rejected;
+  if t.suspicions > 0 || t.link_failures > 0 then
+    Format.fprintf fmt " suspicions=%d link_failures=%d" t.suspicions t.link_failures;
   if t.checkpoints > 0 || t.recoveries > 0 then
     Format.fprintf fmt " checkpoints=%d checkpoint_words=%d recoveries=%d resync_rounds=%d"
       t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds;

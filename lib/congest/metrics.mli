@@ -39,6 +39,29 @@ val add_duplicated : t -> int -> unit
     reliable transport layer ({!Transport}). *)
 val add_retransmissions : t -> int -> unit
 
+(** [add_corrupted t k] records [k] message copies whose payload the
+    fault adversary garbled in flight. A corrupted copy still counts as
+    delivered (or dropped, if the raw engine discards it as undecodable
+    garbage) for the conservation law. *)
+val add_corrupted : t -> int -> unit
+
+(** [add_rejected t k] records [k] packets a transport integrity layer
+    refused on receipt because their checksum failed ({!Transport}).
+    "Zero corrupted payloads accepted" means every corrupted copy that
+    reached a live node is rejected: [rejected] accounts them. *)
+val add_rejected : t -> int -> unit
+
+(** [add_suspicions t k] records [k] suspicion transitions raised by a
+    failure detector ({!Detector}): node [v] started suspecting neighbor
+    [u]. Clearing a suspicion is not a charge. *)
+val add_suspicions : t -> int -> unit
+
+(** [add_link_failures t k] records [k] links a transport declared dead
+    after exhausting its retransmission budget ({!Transport}'s
+    [max_retries] cap): outstanding and queued traffic on the link was
+    abandoned. *)
+val add_link_failures : t -> int -> unit
+
 (** [add_checkpoints t k] records [k] checkpoints written to simulated
     per-node stable storage by a {!Recovery} layer. Checkpoints cost no
     network traffic — they are charged separately from [messages]/[words]
@@ -67,6 +90,10 @@ val delivered : t -> int
 val dropped : t -> int
 val duplicated : t -> int
 val retransmissions : t -> int
+val corrupted : t -> int
+val rejected : t -> int
+val suspicions : t -> int
+val link_failures : t -> int
 val checkpoints : t -> int
 val checkpoint_words : t -> int
 val recoveries : t -> int

@@ -28,14 +28,32 @@
     the algorithm level (checkpoints + neighbor resync) for programs that
     tolerate re-delivery.
 
-    Cost: a packet spends 1 header word on the epoch, 1 on a data
-    sequence number, and 2 on a piggybacked ack (echoed epoch + seq), so
-    the inner engine runs with [max_words + 4]; a fault-free message
-    costs ~2 rounds of link latency (data, then ack unblocks the next
-    send). Retransmissions are charged to
-    {!Metrics.add_retransmissions}. Crash-stop nodes are out of scope: a
-    retransmitter has no failure detector, so a send to a dead node
-    retries until [max_rounds] (then {!Engine.Round_limit_exceeded}).
+    {b Integrity.} Every packet carries a checksum over its header and
+    payload; the fault adversary's payload corruption is modeled as a
+    checksum-breaking garble. A receiver rejects a checksum-failing
+    packet wholesale (nothing in it is trusted — charged to
+    {!Metrics.add_rejected}) and sets a free NACK header bit on its next
+    packet back, which makes the sender fast-retransmit its outstanding
+    message instead of waiting out the timeout. Corrupted payloads are
+    therefore never delivered to [step]: the algorithm sees only intact,
+    exactly-once messages, at the price of extra retransmissions.
+
+    {b Bounded retries.} Each outstanding message is retransmitted at
+    most [max_retries] times (default 25). When the budget is exhausted
+    the sender declares the link {e dead}: everything queued on it is
+    abandoned, a [Link_lost] trace event and a
+    {!Metrics.add_link_failures} charge record the typed failure, and
+    the link stops blocking quiescence — so a run over a permanently
+    partitioned link terminates instead of retrying forever. The typed
+    verdict surfaces one layer up: a {!Detector} turns silent links into
+    per-node suspicions and a [Partial] result.
+
+    Cost: a packet spends 1 header word on the epoch, 1 on the
+    checksum, 1 on a data sequence number, and 2 on a piggybacked ack
+    (echoed epoch + seq), so the inner engine runs with [max_words + 5];
+    a fault-free message costs ~2 rounds of link latency (data, then ack
+    unblocks the next send). Retransmissions are charged to
+    {!Metrics.add_retransmissions}.
 
     Per-link memory is O(1): stop-and-wait delivers in order, so received
     sequences are deduplicated against a single delivered-seq watermark
@@ -56,8 +74,17 @@ module Make (M : Engine.MSG) : sig
         rebuilds its own link state (fresh queues, epoch = restart round)
         around it;
       - [rto] — initial retransmission timeout in rounds (doubles on each
-        retry, capped at [64 * rto]). Must exceed the 2-round fault-free
-        ack latency; default 4. *)
+        retry, capped at [64 * rto] plus jitter — the documented maximum
+        RTO). Must exceed the 2-round fault-free ack latency; default 4.
+      - [jitter_seed] — seeds the retransmission-timer jitter: each
+        backoff interval is stretched by
+        [hash (seed, link, seq, attempt) mod (1 + rto/2)] extra rounds.
+        The jitter is a pure hash of the schedule position (no RNG
+        state), so a replayed run reproduces the exact same
+        retransmission schedule; default 0.
+      - [max_retries] — per-message retransmission budget before the
+        link is declared dead (see {e Bounded retries} above);
+        default 25. *)
   val run :
     Repro_graph.Digraph.t ->
     init:(int -> 'st) ->
@@ -66,6 +93,8 @@ module Make (M : Engine.MSG) : sig
     ?faults:Fault.t ->
     ?on_restart:(round:int -> node:int -> 'st) ->
     ?rto:int ->
+    ?jitter_seed:int ->
+    ?max_retries:int ->
     ?max_rounds:int ->
     ?max_words:int ->
     metrics:Metrics.t ->

@@ -9,6 +9,8 @@
 type drop_reason =
   | Link  (* the adversary destroyed the copy on the wire *)
   | Receiver_down  (* the copy reached a crashed node at delivery time *)
+  | Severed  (* the link was cut by an active partition window *)
+  | Garbled  (* corrupted copy discarded as undecodable (no corrupt hook) *)
 
 type t =
   | Run_start of { label : string; faulty : bool }
@@ -38,6 +40,19 @@ type t =
     }
   | Checkpoint of { round : int; node : int; words : int }
   | Recovery_resync of { round : int; node : int }
+  | Partition of { round : int; src : int; dst : int }
+  | Heal of { round : int; src : int; dst : int }
+  | Corrupt of { send_round : int; deliver_round : int; src : int; dst : int }
+  | Nack of { round : int; src : int; dst : int; seq : int }
+  | Link_lost of { round : int; src : int; dst : int; seq : int; retries : int }
+  | Suspect of { round : int; node : int; peer : int }
+  | Clear of { round : int; node : int; peer : int }
+  | Partition_window of {
+      links : (int * int) list;
+      nodes : int list;
+      from_round : int;
+      heal_round : int option;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* JSONL serialization. Each event is one flat JSON object whose "e"
@@ -74,7 +89,11 @@ let to_json = function
       Printf.sprintf
         {|{"e":"drop","send_round":%d,"round":%d,"src":%d,"dst":%d,"words":%d,"reason":"%s"}|}
         send_round round src dst words
-        (match reason with Link -> "link" | Receiver_down -> "receiver")
+        (match reason with
+        | Link -> "link"
+        | Receiver_down -> "receiver"
+        | Severed -> "severed"
+        | Garbled -> "garbled")
   | Duplicate { round; src; dst; copies } ->
       Printf.sprintf {|{"e":"duplicate","round":%d,"src":%d,"dst":%d,"copies":%d}|} round src
         dst copies
@@ -98,6 +117,30 @@ let to_json = function
       Printf.sprintf {|{"e":"checkpoint","round":%d,"node":%d,"words":%d}|} round node words
   | Recovery_resync { round; node } ->
       Printf.sprintf {|{"e":"recovery_resync","round":%d,"node":%d}|} round node
+  | Partition { round; src; dst } ->
+      Printf.sprintf {|{"e":"partition","round":%d,"src":%d,"dst":%d}|} round src dst
+  | Heal { round; src; dst } ->
+      Printf.sprintf {|{"e":"heal","round":%d,"src":%d,"dst":%d}|} round src dst
+  | Corrupt { send_round; deliver_round; src; dst } ->
+      Printf.sprintf
+        {|{"e":"corrupt","send_round":%d,"deliver_round":%d,"src":%d,"dst":%d}|} send_round
+        deliver_round src dst
+  | Nack { round; src; dst; seq } ->
+      Printf.sprintf {|{"e":"nack","round":%d,"src":%d,"dst":%d,"seq":%d}|} round src dst seq
+  | Link_lost { round; src; dst; seq; retries } ->
+      Printf.sprintf {|{"e":"link_lost","round":%d,"src":%d,"dst":%d,"seq":%d,"retries":%d}|}
+        round src dst seq retries
+  | Suspect { round; node; peer } ->
+      Printf.sprintf {|{"e":"suspect","round":%d,"node":%d,"peer":%d}|} round node peer
+  | Clear { round; node; peer } ->
+      Printf.sprintf {|{"e":"clear","round":%d,"node":%d,"peer":%d}|} round node peer
+  | Partition_window { links; nodes; from_round; heal_round } ->
+      Printf.sprintf {|{"e":"partition_window","links":"%s","nodes":"%s","from":%d,"heal":%d}|}
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) links))
+        (String.concat "," (List.map string_of_int nodes))
+        from_round
+        (match heal_round with Some h -> h | None -> -1)
 
 (* ------------------------------------------------------------------ *)
 (* Parsing: a minimal scanner for the flat objects produced above
@@ -219,6 +262,8 @@ let of_json line =
             (match str "reason" with
             | "link" -> Link
             | "receiver" -> Receiver_down
+            | "severed" -> Severed
+            | "garbled" -> Garbled
             | r -> fail (Printf.sprintf "unknown drop reason %S" r));
         }
   | "duplicate" ->
@@ -246,6 +291,59 @@ let of_json line =
         }
   | "checkpoint" -> Checkpoint { round = int "round"; node = int "node"; words = int "words" }
   | "recovery_resync" -> Recovery_resync { round = int "round"; node = int "node" }
+  | "partition" -> Partition { round = int "round"; src = int "src"; dst = int "dst" }
+  | "heal" -> Heal { round = int "round"; src = int "src"; dst = int "dst" }
+  | "corrupt" ->
+      Corrupt
+        {
+          send_round = int "send_round";
+          deliver_round = int "deliver_round";
+          src = int "src";
+          dst = int "dst";
+        }
+  | "nack" -> Nack { round = int "round"; src = int "src"; dst = int "dst"; seq = int "seq" }
+  | "link_lost" ->
+      Link_lost
+        {
+          round = int "round";
+          src = int "src";
+          dst = int "dst";
+          seq = int "seq";
+          retries = int "retries";
+        }
+  | "suspect" -> Suspect { round = int "round"; node = int "node"; peer = int "peer" }
+  | "clear" -> Clear { round = int "round"; node = int "node"; peer = int "peer" }
+  | "partition_window" ->
+      let ints_of s =
+        if s = "" then []
+        else
+          List.map
+            (fun v ->
+              match int_of_string_opt v with
+              | Some i -> i
+              | None -> fail (Printf.sprintf "bad member %S" v))
+            (String.split_on_char ',' s)
+      in
+      let links_of s =
+        if s = "" then []
+        else
+          List.map
+            (fun l ->
+              match String.split_on_char '-' l with
+              | [ a; b ] -> (
+                  match (int_of_string_opt a, int_of_string_opt b) with
+                  | Some a, Some b -> (a, b)
+                  | _ -> fail (Printf.sprintf "bad link %S" l))
+              | _ -> fail (Printf.sprintf "bad link %S" l))
+            (String.split_on_char ',' s)
+      in
+      Partition_window
+        {
+          links = links_of (str "links");
+          nodes = ints_of (str "nodes");
+          from_round = int "from";
+          heal_round = (match int "heal" with -1 -> None | h -> Some h);
+        }
   | e -> fail (Printf.sprintf "unknown event kind %S" e)
 
 let pp fmt e = Format.pp_print_string fmt (to_json e)

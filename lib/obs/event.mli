@@ -10,6 +10,11 @@
 type drop_reason =
   | Link  (** the adversary destroyed the copy on the wire *)
   | Receiver_down  (** the copy arrived at a node that was crashed *)
+  | Severed  (** the link was cut by an active partition window *)
+  | Garbled
+      (** the copy was corrupted in flight and the raw engine discarded
+          it as undecodable (frame-level CRC semantics; layers with a
+          corruption transform receive the garbled copy instead) *)
 
 type t =
   | Run_start of { label : string; faulty : bool }
@@ -43,6 +48,37 @@ type t =
           [Run_start] time so replay can reconstruct the profile *)
   | Checkpoint of { round : int; node : int; words : int }
   | Recovery_resync of { round : int; node : int }
+  | Partition of { round : int; src : int; dst : int }
+      (** link [src - dst] went down at [round] (a partition window
+          opened over it); emitted once per link per transition *)
+  | Heal of { round : int; src : int; dst : int }
+      (** link [src - dst] came back up at [round] *)
+  | Corrupt of { send_round : int; deliver_round : int; src : int; dst : int }
+      (** one copy of the [send_round] message on [src -> dst] was
+          garbled in flight, landing (or being discarded) at
+          [deliver_round]; replay uses the pair of rounds to reattach
+          the corrupt flag to the right copy *)
+  | Nack of { round : int; src : int; dst : int; seq : int }
+      (** [src] rejected a checksum-failing packet from [dst] and asked
+          for an immediate retransmit of seq [seq] *)
+  | Link_lost of { round : int; src : int; dst : int; seq : int; retries : int }
+      (** [src] abandoned its link to [dst] after [retries]
+          retransmissions of seq [seq] (the transport's [max_retries]
+          cap) — the typed Link_down verdict *)
+  | Suspect of { round : int; node : int; peer : int }
+      (** failure detector: [node] started suspecting neighbor [peer] *)
+  | Clear of { round : int; node : int; peer : int }
+      (** failure detector: [node] heard from [peer] again and cleared
+          its suspicion *)
+  | Partition_window of {
+      links : (int * int) list;
+      nodes : int list;
+      from_round : int;
+      heal_round : int option;
+    }
+      (** static description of an adversary partition window (one of
+          [links]/[nodes] is empty, mirroring [Fault.cut]), emitted at
+          [Run_start] time so replay can reconstruct the profile *)
 
 exception Parse_error of string
 

@@ -7,9 +7,13 @@
    consultation. A recorded trace therefore captures the complete
    delivery schedule: each [Send] opens a fate entry, each
    [Deliver]/receiver-down [Drop] contributes one surviving copy's
-   extra delay, and a fate left empty is a link drop. Replaying that
-   schedule through a scripted adversary (with crash windows rebuilt
-   from [Crash_window] events) reproduces the run exactly.
+   extra delay, a garbled [Drop] contributes a corrupted copy, and a
+   fate left empty is a link drop; [Corrupt] events mark which
+   delivered copies were garbled. Partition windows are deterministic
+   (like crash windows): the engine re-applies them itself, so replay
+   only reconstructs them from the static [Partition_window] events —
+   severed sends never consult the adversary. Replaying the schedule
+   through a scripted adversary reproduces the run exactly.
 
    A CLI invocation may call [Engine.run] several times (rounds restart
    at 0 each time), so fates are sectioned per *faulty* run in trace
@@ -29,59 +33,132 @@ type crash_window = {
   amnesia : bool;
 }
 
+type partition_window = {
+  links : (int * int) list;
+  nodes : int list;
+  p_from_round : int;
+  heal_round : int option;
+}
+
+(* a copy's recorded fate: (extra delay rounds, corrupted in flight) *)
 type t = {
-  schedules : (int * int * int, int list) Hashtbl.t array;
+  schedules : (int * int * int, (int * bool) list) Hashtbl.t array;
   crashes : crash_window list;
+  partitions : partition_window list;
 }
 
 let of_events events =
   let faulty_runs = List.filter (fun (r : Trace_io.run) -> r.faulty) (Trace_io.split_runs events) in
   let schedule_of_run (r : Trace_io.run) =
-    let tbl : (int * int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
+    let tbl : (int * int * int, (int * bool) list) Hashtbl.t = Hashtbl.create 1024 in
+    (* extras (per key) that [Corrupt] events say must carry the flag *)
+    let corrupts : (int * int * int, int list) Hashtbl.t = Hashtbl.create 64 in
     List.iter
       (fun (e : Event.t) ->
         match e with
         | Send { round; src; dst; _ } -> Hashtbl.replace tbl (round, src, dst) []
         | Deliver { send_round; round; src; dst; _ }
-        | Drop { send_round; round; src; dst; reason = Receiver_down; _ } -> (
+        | Drop { send_round; round; src; dst; reason = Receiver_down; _ }
+        | Drop { send_round; round; src; dst; reason = Garbled; _ } -> (
             (* one surviving copy, delivered [extra] rounds late
-               (receiver-down copies survived the wire and still count) *)
+               (receiver-down and garbled copies survived the wire and
+               still count; garbled ones are known corrupt already) *)
             let extra = round - send_round - 1 in
+            let corrupt =
+              match e with Drop { reason = Garbled; _ } -> true | _ -> false
+            in
             let key = (send_round, src, dst) in
             match Hashtbl.find_opt tbl key with
-            | Some l -> Hashtbl.replace tbl key (extra :: l)
+            | Some l -> Hashtbl.replace tbl key ((extra, corrupt) :: l)
             | None ->
                 raise
                   (Divergence
                      (Printf.sprintf "trace has a delivery for unrecorded send r%d %d->%d"
                         send_round src dst)))
-        | Drop { reason = Link; _ } -> ()
+        | Corrupt { send_round; deliver_round; src; dst } ->
+            let key = (send_round, src, dst) in
+            let extra = deliver_round - send_round - 1 in
+            Hashtbl.replace corrupts key
+              (extra :: (Option.value ~default:[] (Hashtbl.find_opt corrupts key)))
+        | Drop { reason = Link; _ } | Drop { reason = Severed; _ } -> ()
         | _ -> ())
       r.events;
-    (* sort each fate's copy delays: order among identical duplicates is
-       unobservable, ascending is canonical *)
-    Hashtbl.filter_map_inplace (fun _ l -> Some (List.sort Int.compare l)) tbl;
+    (* reattach corrupt flags: each [Corrupt] entry accounts for one
+       copy with that extra delay; garbled drops already carry theirs *)
+    Hashtbl.iter
+      (fun key extras ->
+        match Hashtbl.find_opt tbl key with
+        | None ->
+            let r0, src, dst = key in
+            raise
+              (Divergence
+                 (Printf.sprintf "trace corrupts an unrecorded send r%d %d->%d" r0 src dst))
+        | Some fates ->
+            (* per extra delay: [Corrupt] events required minus copies
+               already marked by garbled drops = copies left to flip *)
+            let to_flip = Hashtbl.create 4 in
+            let bump tbl e k =
+              Hashtbl.replace tbl e (k + Option.value ~default:0 (Hashtbl.find_opt tbl e))
+            in
+            List.iter (fun e -> bump to_flip e 1) extras;
+            List.iter (fun (e, c) -> if c then bump to_flip e (-1)) fates;
+            let fates =
+              List.map
+                (fun (e, c) ->
+                  let left = Option.value ~default:0 (Hashtbl.find_opt to_flip e) in
+                  if (not c) && left > 0 then begin
+                    Hashtbl.replace to_flip e (left - 1);
+                    (e, true)
+                  end
+                  else (e, c))
+                fates
+            in
+            Hashtbl.iter
+              (fun _ left ->
+                if left > 0 then
+                  let r0, src, dst = key in
+                  raise
+                    (Divergence
+                       (Printf.sprintf "corrupt event with no matching copy for send r%d %d->%d"
+                          r0 src dst)))
+              to_flip;
+            Hashtbl.replace tbl key fates)
+      corrupts;
+    (* sort each fate's copies: order among identical duplicates is
+       unobservable, (delay, corrupt) ascending is canonical *)
+    Hashtbl.filter_map_inplace
+      (fun _ l -> Some (List.sort (fun (a, ca) (b, cb) ->
+           match Int.compare a b with 0 -> Bool.compare ca cb | c -> c) l))
+      tbl;
     tbl
   in
   let schedules = Array.of_list (List.map schedule_of_run faulty_runs) in
-  (* crash windows repeat identically in every faulty section (one
-     adversary per CLI invocation); keep the first section's list *)
-  let crashes =
+  (* crash/partition windows repeat identically in every faulty section
+     (one adversary per CLI invocation); keep the first section's *)
+  let crashes, partitions =
     match faulty_runs with
-    | [] -> []
+    | [] -> ([], [])
     | first :: _ ->
-        List.filter_map
-          (fun (e : Event.t) ->
-            match e with
-            | Crash_window { node; from_round; until_round; amnesia } ->
-                Some { node; from_round; until_round; amnesia }
-            | _ -> None)
-          first.events
+        ( List.filter_map
+            (fun (e : Event.t) ->
+              match e with
+              | Crash_window { node; from_round; until_round; amnesia } ->
+                  Some { node; from_round; until_round; amnesia }
+              | _ -> None)
+            first.events,
+          List.filter_map
+            (fun (e : Event.t) ->
+              match e with
+              | Partition_window { links; nodes; from_round; heal_round } ->
+                  Some { links; nodes; p_from_round = from_round; heal_round }
+              | _ -> None)
+            first.events )
   in
-  { schedules; crashes }
+  { schedules; crashes; partitions }
 
 let runs t = Array.length t.schedules
 let crashes t = t.crashes
+let partitions t = t.partitions
 
 let plan t ~run ~round ~src ~dst =
   if run < 0 || run >= Array.length t.schedules then

@@ -84,14 +84,23 @@ let max_node r =
       | Duplicate { src; dst; _ }
       | Delay { src; dst; _ }
       | Retransmit { src; dst; _ }
-      | Ack { src; dst; _ } ->
+      | Ack { src; dst; _ }
+      | Partition { src; dst; _ }
+      | Heal { src; dst; _ }
+      | Corrupt { src; dst; _ }
+      | Nack { src; dst; _ }
+      | Link_lost { src; dst; _ } ->
           max m (max src dst)
+      | Suspect { node; peer; _ } | Clear { node; peer; _ } -> max m (max node peer)
       | Crash { node; _ }
       | Restart { node; _ }
       | Crash_window { node; _ }
       | Checkpoint { node; _ }
       | Recovery_resync { node; _ } ->
           max m node
+      | Partition_window { links; nodes; _ } ->
+          let m = List.fold_left (fun m (a, b) -> max m (max a b)) m links in
+          List.fold_left max m nodes
       | Run_start _ | Round_start _ | Round_end _ -> m)
     (-1) r.events
 
@@ -167,8 +176,13 @@ let write_chrome ~path events =
                   obj
                     {|{"name":"drop %d>%d (%s)","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"send_round":%d}}|}
                     src dst
-                    (match reason with Link -> "link" | Receiver_down -> "receiver-down")
-                    (ts round) (match reason with Link -> src | Receiver_down -> dst)
+                    (match reason with
+                    | Link -> "link"
+                    | Receiver_down -> "receiver-down"
+                    | Severed -> "severed"
+                    | Garbled -> "garbled")
+                    (ts round)
+                    (match reason with Receiver_down | Garbled -> dst | Link | Severed -> src)
                     send_round
               | Duplicate { round; src; dst; copies } ->
                   obj
@@ -211,7 +225,42 @@ let write_chrome ~path events =
               | Recovery_resync { round; node } ->
                   obj
                     {|{"name":"resync done","cat":"recovery","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
-                    (ts round) node)
+                    (ts round) node
+              | Partition { round; src; dst } ->
+                  obj
+                    {|{"name":"cut %d-%d","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    src dst (ts round) src
+              | Heal { round; src; dst } ->
+                  obj
+                    {|{"name":"heal %d-%d","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    src dst (ts round) src
+              | Corrupt { send_round; deliver_round; src; dst } ->
+                  obj
+                    {|{"name":"corrupt %d>%d","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"send_round":%d}}|}
+                    src dst (ts deliver_round) dst send_round
+              | Nack { round; src; dst; seq } ->
+                  obj
+                    {|{"name":"nack %d>%d #%d","cat":"transport","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    src dst seq (ts round) src
+              | Link_lost { round; src; dst; seq; retries } ->
+                  obj
+                    {|{"name":"link lost %d>%d #%d x%d","cat":"transport","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    src dst seq retries (ts round) src
+              | Suspect { round; node; peer } ->
+                  obj
+                    {|{"name":"suspect %d","cat":"detector","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    peer (ts round) node
+              | Clear { round; node; peer } ->
+                  obj
+                    {|{"name":"clear %d","cat":"detector","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    peer (ts round) node
+              | Partition_window { from_round; heal_round; _ } ->
+                  let heal = match heal_round with Some h -> h | None -> run_max_round r + 1 in
+                  obj
+                    {|{"name":"partition","cat":"fault","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}|}
+                    (ts from_round)
+                    (max tick ((heal - from_round) * tick))
+                    rounds_tid)
             r.events;
           base := !base + span + tick)
         runs;

@@ -1048,6 +1048,247 @@ let test_round_count_regression_guard () =
   check_int "flood rounds" 6 (Metrics.rounds m);
   check_int "flood messages" 128 (Metrics.messages m)
 
+(* ------------------------------------------------------------------ *)
+(* Partitions, payload corruption, transport integrity, detection *)
+
+module Detector = Repro_congest.Detector
+
+let raises_invalid f =
+  match f () with _ -> false | exception Invalid_argument _ -> true
+
+let test_partition_profile_validation () =
+  let prof ps () = Fault.profile ~partitions:ps () in
+  check_bool "empty links cut" true
+    (raises_invalid (prof [ Fault.partition ~from:0 (Fault.Links []) ]));
+  check_bool "empty vertex cut" true
+    (raises_invalid (prof [ Fault.partition ~from:0 (Fault.Around []) ]));
+  check_bool "self-loop link" true
+    (raises_invalid (prof [ Fault.partition ~from:0 (Fault.Links [ (3, 3) ]) ]));
+  check_bool "negative from" true
+    (raises_invalid (prof [ Fault.partition ~from:(-1) (Fault.Around [ 0 ]) ]));
+  check_bool "heal before start" true
+    (raises_invalid (prof [ Fault.partition ~from:5 ~heal:5 (Fault.Around [ 0 ]) ]));
+  check_bool "corrupt outside [0,1)" true
+    (raises_invalid (fun () -> Fault.profile ~corrupt:1.0 ()))
+
+let test_partition_semantics () =
+  let f =
+    Fault.create ~seed:1
+      (Fault.profile
+         ~partitions:
+           [
+             Fault.partition ~from:3 ~heal:8 (Fault.Links [ (0, 1) ]);
+             Fault.partition ~from:2 (Fault.Around [ 4 ]);
+           ]
+         ())
+  in
+  (* healing link cut: down only inside [from, heal), both directions *)
+  check_bool "before window" false (Fault.link_down f ~round:2 ~src:0 ~dst:1);
+  check_bool "inside window" true (Fault.link_down f ~round:3 ~src:0 ~dst:1);
+  check_bool "inside window, reverse" true (Fault.link_down f ~round:7 ~src:1 ~dst:0);
+  check_bool "healed" false (Fault.link_down f ~round:8 ~src:0 ~dst:1);
+  check_bool "healing cut is not severed" false (Fault.severed f ~src:0 ~dst:1);
+  (* non-healing vertex cut: every link at the node, forever *)
+  check_bool "vertex cut out" true (Fault.link_down f ~round:10 ~src:4 ~dst:2);
+  check_bool "vertex cut in" true (Fault.link_down f ~round:10 ~src:2 ~dst:4);
+  check_bool "vertex cut severed" true (Fault.severed f ~src:7 ~dst:4);
+  check_bool "other links untouched" false (Fault.link_down f ~round:10 ~src:0 ~dst:2)
+
+let test_corruption_rejected_never_accepted () =
+  (* every corrupted copy the adversary delivers is rejected by the
+     transport checksum and repaired by retransmission: zero garbled
+     payloads accepted, output exact *)
+  let g = Generators.partial_k_tree ~seed:9 32 2 ~keep:0.7 in
+  let m = Metrics.create () in
+  let faults = Fault.create ~seed:2 (Fault.profile ~corrupt:0.25 ()) in
+  let t = Bfs_tree.build ~faults ~reliable:true g ~root:0 ~metrics:m in
+  check_bool "exact under corruption" true (t.Bfs_tree.dist = Traversal.bfs_undirected g 0);
+  check_bool "adversary actually corrupted" true (Metrics.corrupted m > 0);
+  check_int "every corrupted copy rejected" (Metrics.corrupted m) (Metrics.rejected m);
+  check_bool "repaired by retransmission" true (Metrics.retransmissions m > 0)
+
+let retransmit_schedule ~jitter_seed ~fault_seed =
+  let g = Generators.path 4 in
+  let sched = ref [] in
+  let saved = !Engine.trace_sink in
+  Engine.trace_sink :=
+    Repro_obs.Sink.make (function
+      | Repro_obs.Event.Retransmit { round; src; dst; seq } ->
+          sched := (round, src, dst, seq) :: !sched
+      | _ -> ());
+  Fun.protect
+    ~finally:(fun () -> Engine.trace_sink := saved)
+    (fun () ->
+      let m = Metrics.create () in
+      let faults = Fault.create ~seed:fault_seed (Fault.profile ~drop:0.4 ()) in
+      let t =
+        Bfs_tree.build_certified ~faults ~jitter_seed g ~root:0 ~metrics:m |> fst
+      in
+      check_bool "exact" true (t.Bfs_tree.dist = Traversal.bfs_undirected g 0);
+      List.rev !sched)
+
+let test_retransmit_schedule_deterministic () =
+  (* same fault seed + same jitter seed => byte-identical retransmit
+     schedule (replay depends on this); jitter is pure, not ambient *)
+  let a = retransmit_schedule ~jitter_seed:3 ~fault_seed:11 in
+  let b = retransmit_schedule ~jitter_seed:3 ~fault_seed:11 in
+  check_bool "schedule nonempty" true (a <> []);
+  check_bool "identical schedule" true (a = b)
+
+let test_retransmit_schedule_pinned () =
+  (* regression pin: the exact (round, src, dst, seq) retransmit
+     schedule for one fixed scenario. A change here means the backoff
+     or jitter arithmetic changed — old recorded traces will no longer
+     replay; bump PINNED deliberately if that is intended. *)
+  let pinned =
+    [
+      (4, 0, 1, 0); (4, 1, 0, 0); (8, 1, 2, 1); (8, 2, 1, 1); (8, 2, 3, 1); (8, 3, 2, 1);
+      (12, 0, 1, 0); (14, 1, 0, 0); (16, 1, 2, 1); (18, 0, 1, 1); (18, 2, 1, 1);
+      (18, 2, 3, 1);
+    ]
+  in
+  let got = retransmit_schedule ~jitter_seed:1 ~fault_seed:5 in
+  check_bool "long enough to pin" true (List.length got > 12);
+  check_bool "pinned schedule prefix" true (List.filteri (fun i _ -> i < 12) got = pinned)
+
+let test_retry_cap_declares_dead_link_and_terminates () =
+  (* a never-healing cut cannot be retransmitted through: the transport
+     must give up after max_retries, declare the link dead, and let the
+     run terminate instead of backing off forever *)
+  let g = Generators.grid 3 3 in
+  let m = Metrics.create () in
+  let faults =
+    Fault.create ~seed:3
+      (Fault.profile ~partitions:[ Fault.partition ~from:0 (Fault.Around [ 4 ]) ] ())
+  in
+  let t, v = Bfs_tree.build_certified ~faults ~max_retries:4 g ~root:0 ~metrics:m in
+  check_bool "dead links declared" true (Metrics.link_failures m > 0);
+  check_bool "terminates quickly at a small cap" true (Metrics.rounds m < 700);
+  check_bool "centre unreached" true (t.Bfs_tree.dist.(4) >= Digraph.inf);
+  match v with
+  | Detector.Complete -> Alcotest.fail "cut must yield a Partial verdict"
+  | Detector.Partial { reachable; _ } ->
+      check_bool "verdict matches oracle" true
+        (reachable = Detector.oracle ~faults g ~root:0)
+
+let test_detector_complete_when_fault_free () =
+  let g = Generators.partial_k_tree ~seed:13 24 2 ~keep:0.7 in
+  let m = Metrics.create () in
+  let t, v = Bfs_tree.build_certified g ~root:0 ~metrics:m in
+  check_bool "exact" true (t.Bfs_tree.dist = Traversal.bfs_undirected g 0);
+  check_bool "complete" true (v = Detector.Complete);
+  check_int "no suspicions" 0 (Metrics.suspicions m)
+
+let test_detector_latency_within_bound () =
+  (* a link severed from round 0 must be suspected within timeout
+     (default 3 x period) rounds of the start *)
+  let g = Generators.grid 4 4 in
+  let faults =
+    Fault.create ~seed:4
+      (Fault.profile ~partitions:[ Fault.partition ~from:0 (Fault.Around [ 5 ]) ] ())
+  in
+  let first = ref max_int in
+  let saved = !Engine.trace_sink in
+  Engine.trace_sink :=
+    Repro_obs.Sink.make (function
+      | Repro_obs.Event.Suspect { round; _ } -> if round < !first then first := round
+      | _ -> ());
+  Fun.protect
+    ~finally:(fun () -> Engine.trace_sink := saved)
+    (fun () ->
+      let period = 2 in
+      let m = Metrics.create () in
+      let _, v =
+        Bfs_tree.build_certified ~faults ~period ~max_retries:4 g ~root:0 ~metrics:m
+      in
+      check_bool "suspected at all" true (!first < max_int);
+      check_bool "within 3 x period of the cut" true (!first <= 3 * period);
+      match v with
+      | Detector.Complete -> Alcotest.fail "cut must yield a Partial verdict"
+      | Detector.Partial { reachable; suspected } ->
+          check_bool "verdict matches oracle" true
+            (reachable = Detector.oracle ~faults g ~root:0);
+          check_bool "suspicions recorded" true (suspected <> []))
+
+let test_spec_roundtrips () =
+  let crash s =
+    match Fault.parse_crash s with
+    | Error e -> Alcotest.failf "parse_crash %S: %s" s e
+    | Ok c -> (
+        let printed = Format.asprintf "%a" Fault.pp_crash c in
+        match Fault.parse_crash printed with
+        | Error e -> Alcotest.failf "reparse %S: %s" printed e
+        | Ok c' -> check_bool (s ^ " round-trips") true (c = c'))
+  in
+  List.iter crash [ "7:3"; "7:3:12"; "0:0:5:freeze"; "9:2:14:amnesia" ];
+  let partition s =
+    match Fault.parse_partition s with
+    | Error e -> Alcotest.failf "parse_partition %S: %s" s e
+    | Ok p -> (
+        let printed = Format.asprintf "%a" Fault.pp_partition p in
+        match Fault.parse_partition printed with
+        | Error e -> Alcotest.failf "reparse %S: %s" printed e
+        | Ok p' -> check_bool (s ^ " round-trips") true (p = p'))
+  in
+  List.iter partition [ "0-1:3"; "0-1,2-3:0:9"; "@4:2"; "@4,5,6:1:7"; "1-2:0" ]
+
+let test_spec_errors_name_field_and_grammar () =
+  let fails_with parse s frag =
+    match parse s with
+    | Ok _ -> Alcotest.failf "%S unexpectedly parsed" s
+    | Error e ->
+        let has sub =
+          let n = String.length sub and m = String.length e in
+          let rec go i = i + n <= m && (String.sub e i n = sub || go (i + 1)) in
+          go 0
+        in
+        check_bool (Printf.sprintf "%S error mentions %S (got %S)" s frag e) true (has frag)
+  in
+  fails_with Fault.parse_crash "x:3" "field 1";
+  fails_with Fault.parse_crash "x:3" "NODE:FROM";
+  fails_with Fault.parse_crash "4" "field(s)";
+  fails_with Fault.parse_crash "4:1:z" "field 3";
+  fails_with Fault.parse_crash "4:2:9:melt" "field 4";
+  fails_with Fault.parse_partition "0-1" "CUT:FROM";
+  fails_with Fault.parse_partition "0x1:4" "field 1";
+  fails_with Fault.parse_partition "0x1:4" "malformed link";
+  fails_with Fault.parse_partition "@a,2:4" "non-integer node";
+  fails_with Fault.parse_partition "0-1:2:x" "field 3"
+
+(* post-heal exactness: a partition that fully heals, plus drop/dup/
+   delay/corruption, must leave no trace — outputs byte-identical to
+   the fault-free run, message accounting conserved, and no corrupted
+   payload ever accepted *)
+let prop_healed_partition_exact =
+  QCheck.Test.make ~name:"healed partition + corruption leaves no trace" ~count:25
+    QCheck.(quad (int_range 0 1000) (int_range 8 24) (int_range 0 30) (int_range 0 25))
+    (fun (seed, n, drop_pct, corrupt_pct) ->
+      let g = Generators.partial_k_tree ~seed n 2 ~keep:0.7 in
+      let profile =
+        Fault.profile
+          ~drop:(float_of_int drop_pct /. 100.0)
+          ~corrupt:(float_of_int corrupt_pct /. 100.0)
+          ~duplicate:0.1 ~max_delay:2
+          ~partitions:
+            [
+              Fault.partition ~from:2 ~heal:(12 + (seed mod 9)) (Fault.Around [ seed mod n ]);
+              Fault.partition ~from:0 ~heal:6 (Fault.Links [ (seed mod n, (seed + 1) mod n) ]);
+            ]
+          ()
+      in
+      let root = (seed + 1) mod n in
+      let m = Metrics.create () in
+      let t =
+        Bfs_tree.build ~faults:(Fault.create ~seed:(seed + 31) profile) ~reliable:true g
+          ~root ~metrics:m
+      in
+      t.Bfs_tree.dist = Traversal.bfs_undirected g root
+      && Metrics.messages m + Metrics.duplicated m
+         = Metrics.delivered m + Metrics.dropped m
+      && Metrics.corrupted m = Metrics.rejected m
+      && Metrics.link_failures m = 0)
+
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -1059,6 +1300,7 @@ let () =
         prop_metrics_conservation;
         prop_recovery_amnesia_oracle_exact;
         prop_fault_adversary_deterministic;
+        prop_healed_partition_exact;
       ]
   in
   Alcotest.run "repro_congest"
@@ -1101,6 +1343,24 @@ let () =
           Alcotest.test_case "amnesia validation" `Quick test_fault_amnesia_requires_restart;
           Alcotest.test_case "amnesia reinit" `Quick test_engine_amnesia_reinits_state;
           Alcotest.test_case "amnesia liveness" `Quick test_engine_amnesia_outage_keeps_run_alive;
+        ] );
+      ( "partition & integrity",
+        [
+          Alcotest.test_case "partition validation" `Quick test_partition_profile_validation;
+          Alcotest.test_case "partition semantics" `Quick test_partition_semantics;
+          Alcotest.test_case "corruption never accepted" `Quick
+            test_corruption_rejected_never_accepted;
+          Alcotest.test_case "retransmit determinism" `Quick
+            test_retransmit_schedule_deterministic;
+          Alcotest.test_case "retransmit schedule pin" `Quick test_retransmit_schedule_pinned;
+          Alcotest.test_case "retry cap terminates" `Quick
+            test_retry_cap_declares_dead_link_and_terminates;
+          Alcotest.test_case "detector fault-free complete" `Quick
+            test_detector_complete_when_fault_free;
+          Alcotest.test_case "detector latency bound" `Quick test_detector_latency_within_bound;
+          Alcotest.test_case "spec round-trips" `Quick test_spec_roundtrips;
+          Alcotest.test_case "spec errors name the field" `Quick
+            test_spec_errors_name_field_and_grammar;
         ] );
       ( "transport",
         [

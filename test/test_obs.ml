@@ -163,6 +163,8 @@ let reconcile_with_metrics (m : Metrics.t) events =
     (sum (function Event.Duplicate { copies; _ } -> copies - 1 | _ -> 0) events);
   check_int "Retransmit events = retransmissions" (Metrics.retransmissions m)
     (count (function Event.Retransmit _ -> true | _ -> false) events);
+  check_int "Corrupt events = corrupted" (Metrics.corrupted m)
+    (count (function Event.Corrupt _ -> true | _ -> false) events);
   check_int "Checkpoint events = checkpoints" (Metrics.checkpoints m)
     (count (function Event.Checkpoint _ -> true | _ -> false) events);
   check_int "Checkpoint words = checkpoint_words" (Metrics.checkpoint_words m)
@@ -180,7 +182,7 @@ let prop_trace_reconciles_with_metrics =
       let profile =
         Fault.profile
           ~drop:(float_of_int drop_pct /. 100.0)
-          ~duplicate:0.15 ~max_delay:2
+          ~duplicate:0.15 ~max_delay:2 ~corrupt:0.1
           ~crashes:[ Fault.crash (seed mod n) ~from:2 ~until:10 ~mode:Fault.Amnesia ]
           ()
       in
@@ -213,7 +215,21 @@ let scripted_of_trace events =
           ~mode:(if w.amnesia then Fault.Amnesia else Fault.Freeze))
       (Replay.crashes r)
   in
-  Fault.scripted ~crashes (Replay.plan r)
+  let partitions =
+    List.map
+      (fun (w : Replay.partition_window) ->
+        let cut =
+          match w.links with
+          | [] -> Fault.Around w.nodes
+          | links -> Fault.Links links
+        in
+        Fault.partition ~from:w.p_from_round ?heal:w.heal_round cut)
+      (Replay.partitions r)
+  in
+  Fault.scripted ~crashes ~partitions (fun ~run ~round ~src ~dst ->
+      List.map
+        (fun (extra, corrupt) -> { Fault.extra; corrupt })
+        (Replay.plan r ~run ~round ~src ~dst))
 
 let prop_replay_determinism =
   QCheck.Test.make
@@ -223,11 +239,20 @@ let prop_replay_determinism =
     (fun (seed, n, drop_pct, interval) ->
       let g = Generators.partial_k_tree ~seed n 3 ~keep:0.6 in
       let gw = Generators.random_weights ~seed ~max_weight:9 g in
+      (* all six fault classes at once: drop, duplicate, delay, crash,
+         (healing) partition, corruption — the trace alone must be
+         enough to reproduce the run byte-for-byte *)
       let profile =
         Fault.profile
           ~drop:(float_of_int drop_pct /. 100.0)
-          ~duplicate:0.2 ~max_delay:2
+          ~duplicate:0.2 ~max_delay:2 ~corrupt:0.12
           ~crashes:[ Fault.crash (seed mod n) ~from:3 ~until:11 ~mode:Fault.Amnesia ]
+          ~partitions:
+            [
+              Fault.partition ~from:2 ~heal:(10 + (seed mod 7)) (Fault.Around [ (seed + 3) mod n ]);
+              Fault.partition ~from:0 ~heal:5
+                (Fault.Links [ ((seed + 1) mod n, (seed + 2) mod n) ]);
+            ]
           ()
       in
       let recovery = { Recovery.checkpoint_every = interval } in
