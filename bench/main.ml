@@ -890,6 +890,21 @@ let eobs () =
             Sink.emit sink (Repro_obs.Event.Send { round = i; src = 0; dst = 1; words = 2 })
         done)
   in
+  (* hard gate (run by CI chaos-smoke): with the sink disabled the emit
+     loop must allocate exactly zero minor words — the dynamic twin of
+     the static hot-alloc pass (DESIGN.md §3f). [Gc.minor_words] is
+     [@@noalloc]/[@unboxed], so the measurement itself is invisible. *)
+  let burn = Staged.unstage (emit_loop Sink.null) in
+  burn ();
+  let before = Gc.minor_words () in
+  for _rep = 1 to 100 do
+    burn ()
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta <> 0.0 then (
+    Printf.printf "   FAIL: disabled emit loop allocated %.0f minor words\n" delta;
+    exit 1);
+  Printf.printf "   zero-alloc gate: 100 x 1000 disabled emit sites, 0 minor words\n";
   let recorder = Recorder.create ~capacity:(1 lsl 16) () in
   let tests =
     [

@@ -51,7 +51,10 @@ module Make (M : MSG) = struct
           tbl)
     in
     let states = Array.init n init in
-    let inboxes = Array.make n [] in
+    (* double-buffered inboxes: both arrays live for the whole run and
+       swap roles each round, so the loop never allocates an array *)
+    let inboxes = ref (Array.make n []) in
+    let next_inboxes = ref (Array.make n []) in
     let round = ref 0 in
     (* crash-amnesia restart: the node boots with no volatile memory, so
        its state is rebuilt from scratch — by default via [init], or via
@@ -141,13 +144,13 @@ module Make (M : MSG) = struct
          | None -> true
          | Some f -> not (Fault.crash_stopped f ~round:!round v)
     in
-    let count_active () =
-      let c = ref 0 in
-      for v = 0 to n - 1 do
-        if live_active v then incr c
-      done;
-      !c
+    (* recursive scans instead of ref-counted loops: no per-call ref
+       cells, so the quiescence check itself is allocation-free *)
+    let rec count_active_from v acc =
+      if v >= n then acc else count_active_from (v + 1) (if live_active v then acc + 1 else acc)
     in
+    let count_active () = count_active_from 0 0 in
+    let rec any_live_active v = v < n && (live_active v || any_live_active (v + 1)) in
     let continue () =
       !in_flight || !delayed <> []
       (* an in-progress amnesia outage keeps the run alive so the
@@ -156,12 +159,7 @@ module Make (M : MSG) = struct
       || (match faults with
          | Some f -> Fault.amnesia_in_progress f ~round:!round
          | None -> false)
-      || (let v = ref 0 and found = ref false in
-          while (not !found) && !v < n do
-            if live_active !v then found := true;
-            incr v
-          done;
-          !found)
+      || any_live_active 0
     in
     (* ---- audit bookkeeping (only consulted when [audit] is true) ----
        The auditor keeps its own cumulative tallies, incremented at the
@@ -214,6 +212,66 @@ module Make (M : MSG) = struct
       in
       check inbox
     in
+    (* round-scoped mutable state, hoisted out of the loop so each
+       round reuses the same cells/table instead of reallocating *)
+    let sent_this_round = ref 0 in
+    let words_this_round = ref 0 in
+    let delivered_this_round = ref 0 in
+    let sent_to = Hashtbl.create 8 in
+    (* deliver a copy into the round-[r] inboxes, dropping it if the
+       receiver is down at delivery time. [words] is the size measured
+       when the copy was accepted; in audit mode the copy is re-measured
+       on delivery so a sender mutating a message after handing it to the
+       network is caught. *)
+    let deliver ~send_round ~deliver_round ~words ?(corrupted = false) dst src msg =
+      let receiver_down =
+        match faults with
+        | None -> false
+        | Some f -> Fault.crashed f ~round:deliver_round dst
+      in
+      (* a corrupted copy is garbled on delivery: the layer above maps
+         it through its [corrupt] transform (and must preserve the word
+         count — audit re-measures below); with no transform installed
+         the copy is undecodable garbage and is discarded like a
+         frame-level CRC failure *)
+      let msg, garbled_drop =
+        if not corrupted then (msg, false)
+        else match corrupt with Some f -> (f msg, false) | None -> (msg, true)
+      in
+      if audit then begin
+        let now = M.words msg in
+        if now <> words then
+          violation
+            (Printf.sprintf
+               "message %d -> %d measured %d words at send but %d words at delivery \
+                (mutated in flight%s?)"
+               src dst words now
+               (if corrupted then ", or size-changing corrupt transform" else ""))
+      end;
+      if receiver_down then begin
+        Metrics.add_dropped metrics 1;
+        if audit then incr a_dropped;
+        if tracing then
+          emit
+            (Repro_obs.Event.Drop
+               { send_round; round = deliver_round; src; dst; words; reason = Receiver_down })
+      end
+      else if garbled_drop then begin
+        Metrics.add_dropped metrics 1;
+        if audit then incr a_dropped;
+        if tracing then
+          emit
+            (Repro_obs.Event.Drop
+               { send_round; round = deliver_round; src; dst; words; reason = Garbled })
+      end
+      else begin
+        !next_inboxes.(dst) <- (src, msg) :: !next_inboxes.(dst);
+        incr delivered_this_round;
+        if audit then incr a_delivered;
+        if tracing then
+          emit (Repro_obs.Event.Deliver { send_round; round = deliver_round; src; dst; words })
+      end
+    in
     while continue () do
       if !round >= max_rounds then
         raise
@@ -241,73 +299,18 @@ module Make (M : MSG) = struct
               states.(v) <- restart_state ~round:!round ~node:v
           done
       | None -> ());
-      let next_inboxes = Array.make n [] in
-      let sent_this_round = ref 0 in
-      let words_this_round = ref 0 in
-      let delivered_this_round = ref 0 in
-      (* deliver a copy into the round-[r] inboxes, dropping it if the
-         receiver is down at delivery time. [words] is the size measured
-         when the copy was accepted; in audit mode the copy is re-measured
-         on delivery so a sender mutating a message after handing it to the
-         network is caught. *)
-      let deliver ~send_round ~deliver_round ~words ?(corrupted = false) dst src msg =
-        let receiver_down =
-          match faults with
-          | None -> false
-          | Some f -> Fault.crashed f ~round:deliver_round dst
-        in
-        (* a corrupted copy is garbled on delivery: the layer above maps
-           it through its [corrupt] transform (and must preserve the word
-           count — audit re-measures below); with no transform installed
-           the copy is undecodable garbage and is discarded like a
-           frame-level CRC failure *)
-        let msg, garbled_drop =
-          if not corrupted then (msg, false)
-          else match corrupt with Some f -> (f msg, false) | None -> (msg, true)
-        in
-        if audit then begin
-          let now = M.words msg in
-          if now <> words then
-            violation
-              (Printf.sprintf
-                 "message %d -> %d measured %d words at send but %d words at delivery \
-                  (mutated in flight%s?)"
-                 src dst words now
-                 (if corrupted then ", or size-changing corrupt transform" else ""))
-        end;
-        if receiver_down then begin
-          Metrics.add_dropped metrics 1;
-          if audit then incr a_dropped;
-          if tracing then
-            emit
-              (Repro_obs.Event.Drop
-                 { send_round; round = deliver_round; src; dst; words; reason = Receiver_down })
-        end
-        else if garbled_drop then begin
-          Metrics.add_dropped metrics 1;
-          if audit then incr a_dropped;
-          if tracing then
-            emit
-              (Repro_obs.Event.Drop
-                 { send_round; round = deliver_round; src; dst; words; reason = Garbled })
-        end
-        else begin
-          next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst);
-          incr delivered_this_round;
-          if audit then incr a_delivered;
-          if tracing then
-            emit (Repro_obs.Event.Deliver { send_round; round = deliver_round; src; dst; words })
-        end
-      in
+      sent_this_round := 0;
+      words_this_round := 0;
+      delivered_this_round := 0;
       for v = 0 to n - 1 do
         if not (crashed v) then begin
           (* contract: inboxes are presented sorted by sender id, so
              algorithms cannot depend on delivery-schedule accidents *)
-          let inbox = List.sort (fun (a, _) (b, _) -> Int.compare a b) inboxes.(v) in
+          let inbox = List.sort (fun (a, _) (b, _) -> Int.compare a b) !inboxes.(v) in
           if audit then audit_inbox_sorted v inbox;
           let st, outbox = step ~round:!round ~node:v states.(v) inbox in
           states.(v) <- st;
-          let sent_to = Hashtbl.create 4 in
+          Hashtbl.clear sent_to;
           List.iter
             (fun (u, msg) ->
               if not (Hashtbl.mem neighbor_sets.(v) u) then
@@ -418,8 +421,13 @@ module Make (M : MSG) = struct
         (fun (dr, dst, src, msg, w, sr, corrupted) ->
           deliver ~send_round:sr ~deliver_round:dr ~words:w ~corrupted dst src msg)
         matured;
-      Array.blit next_inboxes 0 inboxes 0 n;
-      in_flight := Array.exists (fun ib -> ib <> []) inboxes;
+      (* swap the buffers: this round's deliveries become next round's
+         inboxes, and the consumed array is wiped for reuse *)
+      let filled = !next_inboxes in
+      next_inboxes := !inboxes;
+      inboxes := filled;
+      Array.fill !next_inboxes 0 n [];
+      in_flight := Array.exists (fun ib -> ib <> []) filled;
       Metrics.add_messages metrics !sent_this_round;
       Metrics.add_words metrics !words_this_round;
       Metrics.add_delivered metrics !delivered_this_round;
@@ -429,4 +437,5 @@ module Make (M : MSG) = struct
       Metrics.add metrics ~label 1
     done;
     states
+  [@@hot] [@@parallel_region]
 end

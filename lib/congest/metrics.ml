@@ -44,20 +44,20 @@ let add t ~label k =
   | Some r -> r := !r + k
   | None -> Hashtbl.add t.per_label label (ref k)
 
-let add_messages t k = t.messages <- t.messages + k
-let add_words t k = t.words <- t.words + k
-let add_delivered t k = t.delivered <- t.delivered + k
-let add_dropped t k = t.dropped <- t.dropped + k
-let add_duplicated t k = t.duplicated <- t.duplicated + k
-let add_retransmissions t k = t.retransmissions <- t.retransmissions + k
-let add_corrupted t k = t.corrupted <- t.corrupted + k
-let add_rejected t k = t.rejected <- t.rejected + k
-let add_suspicions t k = t.suspicions <- t.suspicions + k
-let add_link_failures t k = t.link_failures <- t.link_failures + k
-let add_checkpoints t k = t.checkpoints <- t.checkpoints + k
-let add_checkpoint_words t k = t.checkpoint_words <- t.checkpoint_words + k
-let add_recoveries t k = t.recoveries <- t.recoveries + k
-let add_resync_rounds t k = t.resync_rounds <- t.resync_rounds + k
+let add_messages t k = t.messages <- t.messages + k [@@hot]
+let add_words t k = t.words <- t.words + k [@@hot]
+let add_delivered t k = t.delivered <- t.delivered + k [@@hot]
+let add_dropped t k = t.dropped <- t.dropped + k [@@hot]
+let add_duplicated t k = t.duplicated <- t.duplicated + k [@@hot]
+let add_retransmissions t k = t.retransmissions <- t.retransmissions + k [@@hot]
+let add_corrupted t k = t.corrupted <- t.corrupted + k [@@hot]
+let add_rejected t k = t.rejected <- t.rejected + k [@@hot]
+let add_suspicions t k = t.suspicions <- t.suspicions + k [@@hot]
+let add_link_failures t k = t.link_failures <- t.link_failures + k [@@hot]
+let add_checkpoints t k = t.checkpoints <- t.checkpoints + k [@@hot]
+let add_checkpoint_words t k = t.checkpoint_words <- t.checkpoint_words + k [@@hot]
+let add_recoveries t k = t.recoveries <- t.recoveries + k [@@hot]
+let add_resync_rounds t k = t.resync_rounds <- t.resync_rounds + k [@@hot]
 let rounds t = t.rounds
 let messages t = t.messages
 let words t = t.words
@@ -75,10 +75,11 @@ let recoveries t = t.recoveries
 let resync_rounds t = t.resync_rounds
 
 let breakdown t =
-  (* the fold order is irrelevant: the list is sorted before returning
-     [lint: hashtbl-order] *)
-  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.per_label []
-  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  Det_tbl.bindings t.per_label ~compare:String.compare
+  |> List.map (fun (label, r) -> (label, !r))
+  |> List.sort (fun (la, a) (lb, b) ->
+         (* count descending, label ascending on ties: fully deterministic *)
+         match Int.compare b a with 0 -> String.compare la lb | c -> c)
 
 let merge ~into src =
   into.messages <- into.messages + src.messages;
@@ -95,9 +96,8 @@ let merge ~into src =
   into.checkpoint_words <- into.checkpoint_words + src.checkpoint_words;
   into.recoveries <- into.recoveries + src.recoveries;
   into.resync_rounds <- into.resync_rounds + src.resync_rounds;
-  (* per-label addition is commutative, iteration order does not matter
-     [lint: hashtbl-order] *)
-  Hashtbl.iter (fun label r -> add into ~label !r) src.per_label
+  Det_tbl.iter_sorted src.per_label ~compare:String.compare (fun label r ->
+      add into ~label !r)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in

@@ -73,8 +73,7 @@ let run skeleton ~roots ?(seed = 0) ~metrics () =
     (st, List.rev !outbox)
   in
   let active st =
-    (* order-insensitive boolean OR over queues [lint: hashtbl-order] *)
-    Hashtbl.fold (fun _ q acc -> acc || not (Queue.is_empty q)) st.queues false
+    Det_tbl.exists (fun _ q -> not (Queue.is_empty q)) st.queues
     || st.delayed <> []
        && List.exists (fun (_, i, _) -> st.dists.(i) > 0) st.delayed
   in

@@ -260,16 +260,14 @@ module Make (M : Engine.MSG) = struct
     in
     let wrap_active st =
       active st.user
-      (* order-insensitive boolean OR over links [lint: hashtbl-order];
-         dead links hold no deliverable traffic and never block quiescence *)
-      || Hashtbl.fold
-           (fun _ l busy ->
-             busy
-             || (not l.dead)
-                && (l.outstanding <> None
-                   || (not (Queue.is_empty l.sendq))
-                   || not (Queue.is_empty l.ackq)))
-           st.links false
+      (* dead links hold no deliverable traffic and never block quiescence *)
+      || Det_tbl.exists
+           (fun _ l ->
+             (not l.dead)
+             && (l.outstanding <> None
+                || (not (Queue.is_empty l.sendq))
+                || not (Queue.is_empty l.ackq)))
+           st.links
     in
     let states =
       E.run skeleton ?faults ~init:wrap_init ~step:wrap_step ~active:wrap_active
@@ -278,4 +276,5 @@ module Make (M : Engine.MSG) = struct
         ~max_words:(max_words + 5) ~metrics ~label ()
     in
     Array.map (fun st -> st.user) states
+  [@@hot] [@@parallel_region]
 end

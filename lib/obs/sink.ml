@@ -11,4 +11,5 @@ type t = { enabled : bool; emit : Event.t -> unit }
 
 let null = { enabled = false; emit = ignore }
 let make emit = { enabled = true; emit }
-let emit t e = t.emit e
+(* on the guarded hot path of every emit site: must not allocate *)
+let emit t e = t.emit e [@@hot]

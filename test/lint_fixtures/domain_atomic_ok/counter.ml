@@ -1,0 +1,5 @@
+(* DomainSafe (atomic): the shared counter is an Atomic.t, safe under
+   any interleaving even though a named binding mutates it. *)
+let hits = Atomic.make 0
+let bump () = Atomic.incr hits
+let read () = Atomic.get hits

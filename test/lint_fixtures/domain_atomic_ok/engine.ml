@@ -1,0 +1,7 @@
+(* A parallelizable region reaching only Atomic state: clean. *)
+let run n =
+  for _i = 1 to n do
+    Counter.bump ()
+  done;
+  Counter.read ()
+[@@parallel_region]

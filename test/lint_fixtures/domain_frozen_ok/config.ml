@@ -1,0 +1,9 @@
+(* DomainSafe (immutable-after-init): the table is filled by an
+   anonymous module initializer and no named binding ever writes it, so
+   it is frozen before any parallel region can observe it. *)
+let table = Hashtbl.create 16
+
+let () =
+  List.iter (fun (k, v) -> Hashtbl.replace table k v) [ (1, "one"); (2, "two"); (3, "three") ]
+
+let find k = Hashtbl.find_opt table k

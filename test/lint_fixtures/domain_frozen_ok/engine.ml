@@ -1,0 +1,2 @@
+(* A parallelizable region reading the frozen table: clean. *)
+let run v = Config.find v [@@parallel_region]

@@ -1,0 +1,6 @@
+(* The step callback writes State.total through State.record: a
+   domain-safety (and node-locality) violation. *)
+let run graph =
+  let init _node = 0 in
+  let step node st _inbox = State.record node; st in
+  My_engine.run graph ~init ~step ~active:(fun _ _ -> true)

@@ -1,0 +1,5 @@
+(* Racy: a module-level ref with a named mutator — concurrent step
+   closures would race on it under the Domains engine. *)
+let total = ref 0
+let record k = total := !total + k
+let read () = !total

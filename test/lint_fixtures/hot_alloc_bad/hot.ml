@@ -1,0 +1,25 @@
+(* One [@@hot] offender per allocation kind the pass distinguishes. *)
+
+(* not hot itself, but transitively allocating: [hot_callee] below picks
+   it up through the may_allocate fixpoint *)
+let helper xs = List.map (fun x -> x + 1) xs
+
+let add3 a b c = a + b + c
+
+(* closure construction in the body (the leading params are exempt) *)
+let hot_closure xs x = List.iter (fun y -> ignore (x + y)) xs [@@hot]
+
+(* tuple boxing *)
+let hot_tuple a b = (a, b) [@@hot]
+
+(* float boxing via a [+.] application *)
+let hot_float a b = a +. b [@@hot]
+
+(* variant boxing *)
+let hot_variant x = Some x [@@hot]
+
+(* allocating in-repo callee, resolved through the call graph *)
+let hot_callee xs = helper xs [@@hot]
+
+(* partial application builds an intermediate closure *)
+let hot_partial a = add3 a 1 [@@hot]

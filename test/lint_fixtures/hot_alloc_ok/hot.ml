@@ -1,0 +1,19 @@
+(* Clean twins: [@@hot] bodies that provably never allocate. *)
+
+(* integer arithmetic only *)
+let hot_add a b = a + b [@@hot]
+
+(* reads and writes of existing blocks *)
+let hot_get arr i = Array.unsafe_get arr i [@@hot]
+let hot_set arr i v = Array.unsafe_set arr i v [@@hot]
+let hot_bump r = incr r [@@hot]
+
+(* the tracing-guarded slow path is off the hot path by contract and
+   its allocations are not counted *)
+let hot_guarded tracing arr i =
+  if tracing then Printf.printf "probe %d\n" (Array.length arr);
+  Array.unsafe_get arr i
+[@@hot]
+
+(* calling another certified-clean sibling stays clean *)
+let hot_chain a b = hot_add a b [@@hot]

@@ -24,6 +24,11 @@ val sym_compare : sym -> sym -> int
 
 module Sym_set : Set.S with type elt = sym
 
+(** A mutable container bound by a local [let] inside a module-level
+    binding ([let delayed = ref [] in ...]): run-scoped shared state the
+    Domains refactor must shard. *)
+type local_mutable = { lm_name : string; lm_line : int; lm_col : int }
+
 type binding = {
   file : string;
   path : string;
@@ -32,12 +37,24 @@ type binding = {
   is_mutable_value : bool;
       (** defined as [ref]/[Hashtbl.create]/[Array.make]/[Buffer.create]/
           an array literal/...: module-level mutable state *)
+  mutable_kind : string option;
+      (** the container class when mutable: ["atomic"], ["ref"],
+          ["hashtbl"], ["array"], ... ([Atomic] is domain-safe by
+          construction; the rest need the immutability proof) *)
+  is_hot : bool;  (** carries [@@hot]: statically certified allocation-free *)
+  is_region : bool;
+      (** carries [@@parallel_region]: a root the Domains refactor runs
+          concurrently (engine round loop, transport fast path) *)
   calls : sym list;  (** resolved in-repo references, sorted, deduplicated *)
   externals : string list;
       (** unresolved qualified references (dotted), plus effectful bare
           identifiers ([failwith], [print_endline], ...) *)
   mutates : sym list;  (** resolved references in mutation position *)
   asserts_false : bool;
+  local_mutables : local_mutable list;
+      (** mutable containers bound by local [let]s in this binding's body *)
+  expr : Parsetree.expression;
+      (** the binding's right-hand side, consumed by the allocation pass *)
 }
 
 (** A per-node callback site with its reference set, closed over the
@@ -51,13 +68,19 @@ type callback = {
   cb_col : int;
   cb_calls : sym list;
   cb_externals : string list;
+  cb_captured : local_mutable list;
+      (** run-local mutable containers the callback closes over (shared
+          across every node of one run: the [PerNode] lattice class) *)
 }
+
+type resolver
 
 type t = {
   files : string list;
   bindings : (sym, binding) Hashtbl.t;
   order : sym list;  (** deterministic iteration order (file, then source order) *)
   callbacks : callback list;  (** sorted by file, then position *)
+  resolver : resolver;
 }
 
 val find : t -> sym -> binding option
@@ -72,3 +95,12 @@ val module_of_file : string -> string
     resolution (directory siblings, library wrappers) and findings; they
     need not exist on disk. *)
 val build : (string * Parsetree.structure) list -> t
+
+(** [resolve_ref t ~file path] resolves a dotted reference occurring in
+    [file] against the whole-repo index (aliases, siblings, library
+    wrappers), exactly as [build] resolved binding references. *)
+val resolve_ref : t -> file:string -> string list -> sym option
+
+(** The alias-expanded, [Stdlib]-stripped form of an unresolved path,
+    for classifying external references. *)
+val normalize_ref : t -> file:string -> string list -> string list

@@ -1,0 +1,52 @@
+(** Domain-safety certifier (stage 3 of the interprocedural analysis,
+    DESIGN.md §3f).
+
+    Classifies every module-level mutable binding into a three-point
+    lattice — [Safe_atomic] ([Atomic.t], safe by construction),
+    [Safe_immutable] (no named binding ever reaches it in mutation
+    position: immutable-after-init), [Racy] (somebody writes it) — then
+    BFSes from every parallelizable region root ([@@parallel_region]
+    bindings and per-node callback sites) and reports a [domain-safety]
+    finding with the full call chain for every path to [Racy] state.
+
+    The JSON report additionally inventories the [PerNode] class:
+    run-local mutable containers captured by region roots, i.e. the
+    state the OCaml 5 Domains refactor (ROADMAP item 1) must shard. *)
+
+type clazz = Safe_atomic | Safe_immutable | Racy
+
+val class_name : clazz -> string
+
+type state_entry = {
+  st_sym : Callgraph.sym;
+  st_kind : string;  (** container kind: ["ref"], ["hashtbl"], ... *)
+  st_class : clazz;
+  st_mutators : Callgraph.sym list;
+      (** named bindings that directly mutate it (empty iff not [Racy]) *)
+  st_line : int;
+}
+
+type shard_entry = {
+  sh_file : string;
+  sh_owner : string;
+  sh_root : string;
+  sh_name : string;
+  sh_line : int;
+  sh_col : int;
+}
+
+type report = { state : state_entry list; shards : shard_entry list }
+
+(** The classification of every module-level mutable binding, in
+    deterministic (file, source) order. *)
+val classify : Callgraph.t -> state_entry list
+
+(** [domain-safety] findings: one per (region root, reachable racy
+    value), anchored at the root, sorted by position. *)
+val findings : Callgraph.t -> Lint_core.finding list
+
+val report : Callgraph.t -> report
+
+(** The machine-readable report
+    ([_build/default/analysis/domains.json]). *)
+val to_json : Callgraph.t -> report -> string

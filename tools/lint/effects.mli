@@ -23,6 +23,12 @@ val find : t -> Callgraph.sym -> summary option
     ["<file>#<dotted path>"]. *)
 val sym_id : Callgraph.sym -> string
 
+(** JSON-writing helpers shared by the [domains.json]/[alloc.json]
+    emitters. *)
+val json_escape : string -> string
+
+val json_string_list : string list -> string
+
 (** The machine-readable effect report
     ([_build/default/analysis/effects.json]): one entry per binding with
     its summary, direct calls, and external references. *)

@@ -1,27 +1,36 @@
 (* CLI driver for the model-compliance lint:
 
      lint [--format text|json] [--baseline FILE] [--no-interproc]
-          [--effects-out FILE] [--update-baseline] <file-or-dir>...
+          [--effects-out FILE] [--domains-out FILE] [--alloc-out FILE]
+          [--bench-out FILE] [--update-baseline] <file-or-dir>...
 
    Directories are walked recursively for [.ml] files (in sorted order,
    so output and baseline application are stable). Each file is parsed
    once; the single-file rules run per file and, unless
    [--no-interproc] is given, the whole file set feeds the
-   interprocedural pass (symbol/call graph -> effect summaries ->
-   node-locality / send-discipline). [--effects-out] additionally dumps
-   the effect summaries as JSON. [--update-baseline] rewrites the
-   baseline file in place from the current findings instead of
-   reporting them. Exits 0 when clean, 1 on findings or stale baseline
-   entries, 2 on usage/parse errors or nonexistent paths. *)
+   interprocedural passes (symbol/call graph -> effect summaries ->
+   node-locality / send-discipline -> domain-safety -> hot-alloc).
+   [--effects-out]/[--domains-out]/[--alloc-out] additionally dump the
+   corresponding JSON reports; [--bench-out] writes a BENCH_lint.json
+   timing row (whole-repo certifier wall-clock) so analysis cost is
+   tracked alongside the fault benches. [--update-baseline] rewrites
+   the baseline file in place from the current findings instead of
+   reporting them. A baseline entry still marked "TODO justify" fails
+   the build. Exits 0 when clean, 1 on findings, stale baseline
+   entries, or unjustified entries, 2 on usage/parse errors or
+   nonexistent paths. *)
 
 module Lint_core = Repro_lint.Lint_core
 module Interproc = Repro_lint.Interproc
 module Effects = Repro_lint.Effects
 module Callgraph = Repro_lint.Callgraph
+module Domains = Repro_lint.Domains
+module Alloc = Repro_lint.Alloc
 
 let usage =
   "lint [--format text|json] [--baseline FILE] [--no-interproc] [--effects-out FILE] \
-   [--update-baseline] <file-or-dir>..."
+   [--domains-out FILE] [--alloc-out FILE] [--bench-out FILE] [--update-baseline] \
+   <file-or-dir>..."
 
 let rec collect path acc =
   if Sys.is_directory path then
@@ -42,6 +51,9 @@ let () =
   let baseline_path = ref "" in
   let interproc = ref true in
   let effects_out = ref "" in
+  let domains_out = ref "" in
+  let alloc_out = ref "" in
+  let bench_out = ref "" in
   let update_baseline = ref false in
   let paths = ref [] in
   let spec =
@@ -59,6 +71,15 @@ let () =
       ( "--effects-out",
         Arg.Set_string effects_out,
         "FILE write the per-binding effect summaries as JSON" );
+      ( "--domains-out",
+        Arg.Set_string domains_out,
+        "FILE write the domain-safety classification report as JSON" );
+      ( "--alloc-out",
+        Arg.Set_string alloc_out,
+        "FILE write the [@@hot] allocation-site report as JSON" );
+      ( "--bench-out",
+        Arg.Set_string bench_out,
+        "FILE write a BENCH_lint.json timing row (certifier wall-clock)" );
       ( "--update-baseline",
         Arg.Set update_baseline,
         " rewrite the --baseline file from current findings (new entries marked 'TODO \
@@ -111,15 +132,39 @@ let () =
       [] parsed
     |> List.rev
   in
+  let write_out path json =
+    if path <> "" then begin
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json)
+    end
+  in
+  let started = Unix.gettimeofday () in
   let findings =
     if not !interproc then findings
     else begin
       let cg = Callgraph.build parsed in
-      (if !effects_out <> "" then
-         let json = Effects.to_json cg (Effects.summarize cg) in
-         let oc = open_out_bin !effects_out in
-         Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json));
-      findings @ Interproc.findings cg
+      if !effects_out <> "" then
+        write_out !effects_out (Effects.to_json cg (Effects.summarize cg));
+      if !domains_out <> "" then write_out !domains_out (Domains.to_json cg (Domains.report cg));
+      let hot = Alloc.analyze cg in
+      if !alloc_out <> "" then write_out !alloc_out (Alloc.to_json hot);
+      if !bench_out <> "" then begin
+        let wall = Unix.gettimeofday () -. started in
+        write_out !bench_out
+          (Printf.sprintf
+             "{\n\
+             \  \"rows\": [\n\
+             \    {\"experiment\": \"lint\", \"files\": %d, \"bindings\": %d, \"callbacks\": \
+              %d, \"hot_functions\": %d, \"wall_s\": %.3f}\n\
+             \  ]\n\
+              }\n"
+             (List.length cg.Callgraph.files)
+             (List.length cg.Callgraph.order)
+             (List.length cg.Callgraph.callbacks)
+             (List.length hot) wall)
+      end;
+      findings @ Interproc.findings cg @ Domains.findings cg
+      @ Alloc.findings_of_reports hot
     end
   in
   let baseline_entries =
@@ -152,6 +197,15 @@ let () =
       !baseline_path (List.length findings) (List.length kept) (List.length fresh);
     exit 0
   end;
+  let unjustified = Lint_core.unjustified baseline_entries in
+  List.iter
+    (fun (e : Lint_core.baseline_entry) ->
+      Printf.eprintf
+        "lint: %s:%d: unjustified baseline entry: %s %s %d # %s — write a real \
+         justification\n"
+        !baseline_path e.Lint_core.b_line e.Lint_core.b_rule e.Lint_core.b_file
+        e.Lint_core.count e.Lint_core.justification)
+    unjustified;
   let outcome =
     match !baseline_path with
     | "" -> { Lint_core.fresh = findings; stale = [] }
@@ -181,4 +235,4 @@ let () =
   if fresh > 0 then
     Printf.eprintf "lint: %d finding(s) over %d file(s); see DESIGN.md for the rule table\n"
       fresh (List.length files);
-  if fresh > 0 || outcome.Lint_core.stale <> [] then exit 1
+  if fresh > 0 || outcome.Lint_core.stale <> [] || unjustified <> [] then exit 1

@@ -46,10 +46,18 @@ let rules =
     ( "send-discipline",
       "interprocedural: a per-node callback path charges Metrics counters directly; all \
        traffic/storage accounting must flow through the engine's single charging path" );
+    ( "domain-safety",
+      "interprocedural: a parallelizable region root (engine round loop, transport fast \
+       path, per-node callbacks) can reach Racy module-level mutable state — convert it \
+       to Atomic, prove it immutable-after-init, or shard it per domain (DESIGN.md §3f)" );
+    ( "hot-alloc",
+      "interprocedural: a [@@hot] function allocates (closure, tuple/record/variant box, \
+       float box, partial application, or allocating callee) — the static form of the \
+       EObs Gc.minor_words = 0 guarantee" );
   ]
 
 let rule_ids = List.map fst rules
-let interproc_rule_ids = [ "node-locality"; "send-discipline" ]
+let interproc_rule_ids = [ "node-locality"; "send-discipline"; "domain-safety"; "hot-alloc" ]
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping *)
@@ -176,7 +184,13 @@ let lint_file file =
 (* ------------------------------------------------------------------ *)
 (* Baseline *)
 
-type baseline_entry = { b_rule : string; b_file : string; count : int; justification : string }
+type baseline_entry = {
+  b_rule : string;
+  b_file : string;
+  count : int;
+  justification : string;
+  b_line : int;
+}
 
 (* Line format: [<rule> <file> <count> # <justification>]. Blank lines and
    lines starting with '#' are comments. *)
@@ -209,10 +223,21 @@ let parse_baseline text =
                          (fun e -> e.b_rule = b_rule && e.b_file = b_file)
                          !entries
                      then err lno (Printf.sprintf "duplicate entry for %s %s" b_rule b_file)
-                     else entries := { b_rule; b_file; count; justification } :: !entries
+                     else
+                       entries :=
+                         { b_rule; b_file; count; justification; b_line = lno } :: !entries
                  | _ -> err lno (Printf.sprintf "invalid count %S" count))
            | _ -> err lno "expected '<rule> <file> <count> # <justification>'");
   match !errors with [] -> Ok (List.rev !entries) | es -> Error (List.rev es)
+
+(* [--update-baseline] stamps new groups "TODO justify"; an entry still
+   carrying that marker is a debt, not a decision, and fails the build
+   until a human writes the why. *)
+let unjustified entries =
+  let is_todo j =
+    String.length j >= 4 && String.lowercase_ascii (String.sub j 0 4) = "todo"
+  in
+  List.filter (fun e -> is_todo e.justification) entries
 
 type baseline_outcome = {
   fresh : finding list;  (* findings the baseline does not cover *)

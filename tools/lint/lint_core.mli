@@ -46,6 +46,7 @@ type baseline_entry = {
   b_file : string;
   count : int;  (** exact number of findings this entry covers *)
   justification : string;  (** required one-line why *)
+  b_line : int;  (** 1-based line in the baseline file, for error reports *)
 }
 
 (** Parses a baseline file: one [<rule> <file> <count> # <justification>]
@@ -53,6 +54,11 @@ type baseline_entry = {
     unknown rules, duplicate entries, non-positive counts, and entries
     with no justification. *)
 val parse_baseline : string -> (baseline_entry list, string list) result
+
+(** Entries whose justification is still the ["TODO justify"] marker
+    left by [--update-baseline] (case-insensitive ["todo"] prefix): the
+    lint CLI fails the build on them, printing the offending lines. *)
+val unjustified : baseline_entry list -> baseline_entry list
 
 type baseline_outcome = {
   fresh : finding list;
