@@ -36,6 +36,7 @@ module Matching = Repro_core.Matching
 module Girth = Repro_core.Girth
 module Engine = Repro_congest.Engine
 module Detector = Repro_congest.Detector
+module Async_engine = Repro_congest.Async_engine
 
 let log2f x = log (float_of_int (max 2 x)) /. log 2.0
 
@@ -616,6 +617,10 @@ let metric_fields m =
     ("checkpoint_words", string_of_int (Metrics.checkpoint_words m));
     ("recoveries", string_of_int (Metrics.recoveries m));
     ("resync_rounds", string_of_int (Metrics.resync_rounds m));
+    ("pulses", string_of_int (Metrics.pulses m));
+    ("safe_messages", string_of_int (Metrics.safe_messages m));
+    ("straggles", string_of_int (Metrics.straggles m));
+    ("virtual_time", string_of_int (Metrics.virtual_time m));
   ]
 
 let flush_fault_json () =
@@ -820,6 +825,80 @@ let ef3 () =
     families
 
 (* ------------------------------------------------------------------ *)
+(* E-F4: α-synchronizer overhead and straggler-tail latency *)
+
+let ef4 () =
+  header "E-F4: async executor — synchronizer overhead and straggler-tail latency"
+    "outputs, round counts and core traffic counters stay byte-identical to the \
+     synchronous engine across timing profiles; the synchronizer's overhead is \
+     the per-pulse SAFE fan-out, and the virtual-time makespan stretches with \
+     the straggler tail while logical rounds stay fixed";
+  table_header
+    [
+      cell 16 "family"; cell 5 "n"; cell 24 "scenario"; cell 7 "rounds"; cell 7 "pulses";
+      cell 9 "safe msg"; cell 9 "vt"; cell 8 "vt/round"; cell 6 "exact";
+    ];
+  let families =
+    [ ("partial 2-tree", ptk ~seed:66 64 2); ("grid 8x8", Generators.grid 8 8) ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let expected = Traversal.bfs_undirected g 0 in
+      let sync_rounds, sync_messages =
+        let m = Metrics.create () in
+        ignore (Bfs_tree.build g ~root:0 ~metrics:m);
+        (Metrics.rounds m, Metrics.messages m)
+      in
+      let stragglers =
+        [ Fault.straggle 5 ~from:2 ~until:10 ~factor:8;
+          Fault.straggle 11 ~from:4 ~until:12 ~factor:16 ]
+      in
+      let scenarios =
+        [
+          ("nominal (forced async)", Fault.profile ());
+          ("link latency 2", Fault.profile ~link_latency:2 ());
+          ("clock skew 4", Fault.profile ~skew:4 ());
+          ("stragglers x8/x16", Fault.profile ~stragglers ());
+          ("straggle+latency+skew", Fault.profile ~stragglers ~link_latency:2 ~skew:3 ());
+        ]
+      in
+      List.iter
+        (fun (sname, profile) ->
+          let saved = !Async_engine.forced in
+          Async_engine.forced := true;
+          Fun.protect ~finally:(fun () -> Async_engine.forced := saved) @@ fun () ->
+          let m = Metrics.create () in
+          let faults = Fault.create ~seed:9 profile in
+          let t = Bfs_tree.build ~faults g ~root:0 ~metrics:m in
+          let exact =
+            t.Bfs_tree.dist = expected
+            && Metrics.rounds m = sync_rounds
+            && Metrics.messages m = sync_messages
+          in
+          let vt_per_round =
+            float_of_int (Metrics.virtual_time m)
+            /. float_of_int (max 1 (Metrics.rounds m))
+          in
+          fault_row ~experiment:"E-F4"
+            ~scenario:(Printf.sprintf "%s %s" name sname)
+            (("n", string_of_int (Digraph.n g))
+            :: ("sync_rounds", string_of_int sync_rounds)
+            :: ("vt_per_round", Printf.sprintf "%.2f" vt_per_round)
+            :: ("exact", string_of_bool exact)
+            :: metric_fields m);
+          Printf.printf "   %s | %s | %s | %s | %s | %s | %s | %s | %s\n" (cell 16 name)
+            (cell 5 (string_of_int (Digraph.n g)))
+            (cell 24 sname)
+            (cell 7 (string_of_int (Metrics.rounds m)))
+            (cell 7 (string_of_int (Metrics.pulses m)))
+            (cell 9 (string_of_int (Metrics.safe_messages m)))
+            (cell 9 (string_of_int (Metrics.virtual_time m)))
+            (cell 8 (Printf.sprintf "%.1f" vt_per_round))
+            (cell 6 (if exact then "yes" else "NO")))
+        scenarios)
+    families
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock micro-benchmarks (Bechamel) *)
 
 let micro () =
@@ -905,6 +984,37 @@ let eobs () =
     Printf.printf "   FAIL: disabled emit loop allocated %.0f minor words\n" delta;
     exit 1);
   Printf.printf "   zero-alloc gate: 100 x 1000 disabled emit sites, 0 minor words\n";
+  (* same gate on the asynchronous executor (run by CI chaos-smoke): a
+     disabled-but-counting sink is driven through a whole forced-async
+     run under timing faults; the synchronizer's Pulse/Safe/Straggle
+     emit sites must test [enabled] before constructing any event, so
+     the counter must stay at zero — paired with the loop gate above,
+     the async hot path builds no event values when tracing is off. *)
+  let hits = ref 0 in
+  let counting_disabled = { Sink.enabled = false; emit = (fun _ -> incr hits) } in
+  let saved_sink = !Engine.trace_sink in
+  Engine.trace_sink := counting_disabled;
+  Async_engine.forced := true;
+  Fun.protect ~finally:(fun () ->
+      Engine.trace_sink := saved_sink;
+      Async_engine.forced := false)
+  @@ (fun () ->
+  let g = Generators.k_tree ~seed:21 64 3 in
+  let faults =
+    Fault.create ~seed:3
+      (Fault.profile
+         ~stragglers:[ Fault.straggle 5 ~from:2 ~until:8 ~factor:4 ]
+         ~link_latency:1 ~skew:2 ())
+  in
+  let m = Metrics.create () in
+  ignore (Bfs_tree.build ~faults g ~root:0 ~metrics:m);
+  if Metrics.pulses m = 0 then (
+    Printf.printf "   FAIL: async gate run never pulsed\n";
+    exit 1);
+  if !hits <> 0 then (
+    Printf.printf "   FAIL: disabled async run constructed %d event(s)\n" !hits;
+    exit 1));
+  Printf.printf "   zero-alloc gate: forced-async run, sink disabled, 0 events built\n";
   let recorder = Recorder.create ~capacity:(1 lsl 16) () in
   let tests =
     [
@@ -915,6 +1025,14 @@ let eobs () =
              let g = Generators.k_tree ~seed:21 200 3 in
              let m = Metrics.create () in
              ignore (Bfs_tree.build g ~root:0 ~metrics:m)));
+      Test.make ~name:"bfs n=200 k-tree, async, tracing off"
+        (Staged.stage (fun () ->
+             Async_engine.forced := true;
+             Fun.protect ~finally:(fun () -> Async_engine.forced := false)
+               (fun () ->
+                 let g = Generators.k_tree ~seed:21 200 3 in
+                 let m = Metrics.create () in
+                 ignore (Bfs_tree.build g ~root:0 ~metrics:m))));
     ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
@@ -945,7 +1063,8 @@ let experiments =
   [
     ("E1", e1); ("E2a", e2a); ("E2b", e2b); ("E3", e3); ("E4", e4);
     ("E5a", e5a); ("E5b", e5b); ("E6a", e6a); ("E6b", e6b); ("E6c", e6c); ("E6d", e6d);
-    ("E7", e7); ("E8", e8); ("EF1", ef1); ("EF2", ef2); ("EF3", ef3); ("EObs", eobs);
+    ("E7", e7); ("E8", e8); ("EF1", ef1); ("EF2", ef2); ("EF3", ef3); ("EF4", ef4);
+    ("EObs", eobs);
     ("micro", micro);
   ]
 

@@ -42,6 +42,19 @@ let profiles =
       Fault.profile ~drop:0.1
         ~partitions:[ Fault.partition ~from:0 ~heal:40 (Fault.Around [ 5 ]) ]
         () );
+    (* timing profiles route through the asynchronous executor; bounded
+       stalls and slowdowns preserve exactness by construction, so the
+       same oracle checks apply (plus: pulses must have been charged) *)
+    ( "straggler-sweep",
+      Fault.profile ~drop:0.1
+        ~stragglers:
+          [
+            Fault.straggle 2 ~from:3 ~until:9 ~factor:4;
+            Fault.straggle 5 ~from:6 ~until:12;
+          ]
+        ~link_latency:2 () );
+    ( "skewed-clock",
+      Fault.profile ~duplicate:0.2 ~max_delay:2 ~skew:5 ~link_latency:3 () );
   ]
 
 (* Non-healing partitions: exactness everywhere is impossible, so these
@@ -56,13 +69,55 @@ let certified_profiles =
       Fault.profile ~corrupt:0.1
         ~partitions:[ Fault.partition ~from:0 (Fault.Around [ 3; 11 ]) ]
         () );
+    (* an unbounded stall behaves as a crash-stop under the async
+       executor: the detector must suspect the silent node and the
+       certified run excise it *)
+    ("stall-forever", Fault.profile ~stragglers:[ Fault.straggle 7 ~from:4 ] ~link_latency:1 ());
   ]
 
-(* [g] minus its permanently severed links (the degraded ground truth) *)
+(* Deadline-paced degraded mode: a permanently slowed node blows the
+   pulse deadline until every neighbor cuts it, the detector suspects
+   the silence, and the certified run must excise exactly the chronic
+   stragglers — the oracle cannot see heuristic cuts, so the expected
+   reachable set is written out explicitly. *)
+let deadline_profiles =
+  [
+    ( "deadline-cut",
+      4,
+      Fault.profile ~stragglers:[ Fault.straggle 7 ~from:2 ~factor:40 ] (),
+      [ 7 ] );
+  ]
+
+(* [g] minus its permanently severed links and (under the async
+   executor) the links of its forever-stalled nodes: the degraded
+   ground truth *)
 let prune_severed g f =
+  let async = Fault.timing_active f in
+  let dead v = async && Fault.eventually_stalled f v in
   let quads =
     Array.to_list (Digraph.edges g)
-    |> List.filter (fun (e : Digraph.edge) -> not (Fault.severed f ~src:e.src ~dst:e.dst))
+    |> List.filter (fun (e : Digraph.edge) ->
+           (not (Fault.severed f ~src:e.src ~dst:e.dst))
+           && (not (dead e.src))
+           && not (dead e.dst))
+    |> List.map (fun (e : Digraph.edge) -> (e.src, e.dst, e.weight, e.label))
+  in
+  Digraph.create_labeled ~directed:(Digraph.directed g) (Digraph.n g) quads
+
+(* The certified contract covers the component the verdict certifies:
+   an excised node's local output is unspecified (it may hold values
+   legitimately learned before it stalled or was cut), so ground-truth
+   distances are compared on the reachable set only. *)
+let dist_ok ~reachable got want =
+  Array.length got = Array.length want
+  && Array.for_all Fun.id (Array.mapi (fun i r -> (not r) || got.(i) = want.(i)) reachable)
+
+(* [g] minus every link touching [nodes] *)
+let prune_nodes g nodes =
+  let quads =
+    Array.to_list (Digraph.edges g)
+    |> List.filter (fun (e : Digraph.edge) ->
+           (not (List.mem e.src nodes)) && not (List.mem e.dst nodes))
     |> List.map (fun (e : Digraph.edge) -> (e.src, e.dst, e.weight, e.label))
   in
   Digraph.create_labeled ~directed:(Digraph.directed g) (Digraph.n g) quads
@@ -96,17 +151,27 @@ let run seeds checkpoint_every only obs =
                 profile.Fault.corrupt = 0.0
                 || Metrics.rejected m = Metrics.corrupted m
               in
+              (* timing profiles must actually have taken the async
+                 path: pulses are charged only by the synchronizer *)
+              let timing =
+                profile.Fault.stragglers <> []
+                || profile.Fault.link_latency > 0
+                || profile.Fault.skew > 0
+              in
+              let async_ok m = (not timing) || Metrics.pulses m > 0 in
               let m = Metrics.create () in
               let t = Bfs_tree.build ~faults:(faults ()) ~recovery skel ~root:0 ~metrics:m in
               case ~graph:gname ~profile_name:pname ~seed "bfs"
                 (t.Bfs_tree.dist = Traversal.bfs_undirected skel 0
-                && (profile.Fault.crashes <> [] || integrity m))
+                && (profile.Fault.crashes <> [] || integrity m)
+                && async_ok m)
                 m;
               let m = Metrics.create () in
               let d = Bellman_ford.run ~faults:(faults ()) ~recovery g ~source:0 ~metrics:m in
               case ~graph:gname ~profile_name:pname ~seed "sssp"
                 (d = Shortest_path.dijkstra g 0
-                && (profile.Fault.crashes <> [] || integrity m))
+                && (profile.Fault.crashes <> [] || integrity m)
+                && async_ok m)
                 m
             done)
         profiles;
@@ -116,7 +181,9 @@ let run seeds checkpoint_every only obs =
             for seed = 1 to seeds do
               let faults () = Fault.create ~seed profile in
               let f = faults () in
-              let oracle = Detector.oracle ~faults:f skel ~root:0 in
+              let oracle =
+                Detector.oracle ~faults:f ~async:(Fault.timing_active f) skel ~root:0
+              in
               let verdict_ok = function
                 | Detector.Complete -> Array.for_all Fun.id oracle
                 | Detector.Partial { reachable; _ } -> reachable = oracle
@@ -125,16 +192,43 @@ let run seeds checkpoint_every only obs =
               let t, v = Bfs_tree.build_certified ~faults:f skel ~root:0 ~metrics:m in
               case ~graph:gname ~profile_name:pname ~seed "bfs/certified"
                 (verdict_ok v
-                && t.Bfs_tree.dist = Traversal.bfs_undirected (prune_severed skel f) 0)
+                && dist_ok ~reachable:oracle t.Bfs_tree.dist
+                     (Traversal.bfs_undirected (prune_severed skel f) 0))
                 m;
               let f = faults () in
               let m = Metrics.create () in
               let d, v = Bellman_ford.run_certified ~faults:f g ~source:0 ~metrics:m in
               case ~graph:gname ~profile_name:pname ~seed "sssp/certified"
-                (verdict_ok v && d = Shortest_path.dijkstra (prune_severed g f) 0)
+                (verdict_ok v
+                && dist_ok ~reachable:oracle d (Shortest_path.dijkstra (prune_severed g f) 0))
                 m
             done)
-        certified_profiles)
+        certified_profiles;
+      List.iter
+        (fun (pname, dl, profile, cut_nodes) ->
+          if wanted pname then
+            for seed = 1 to seeds do
+              let saved = !Repro_congest.Async_engine.deadline in
+              Repro_congest.Async_engine.deadline := dl;
+              Fun.protect
+                ~finally:(fun () -> Repro_congest.Async_engine.deadline := saved)
+              @@ fun () ->
+              let f = Fault.create ~seed profile in
+              let expected =
+                Array.init (Digraph.n skel) (fun v -> not (List.mem v cut_nodes))
+              in
+              let m = Metrics.create () in
+              let t, v = Bfs_tree.build_certified ~faults:f skel ~root:0 ~metrics:m in
+              case ~graph:gname ~profile_name:pname ~seed "bfs/deadline"
+                ((match v with
+                 | Detector.Partial { reachable; _ } -> reachable = expected
+                 | Detector.Complete -> false)
+                && dist_ok ~reachable:expected t.Bfs_tree.dist
+                     (Traversal.bfs_undirected (prune_nodes skel cut_nodes) 0)
+                && Metrics.pulses m > 0)
+                m
+            done)
+        deadline_profiles)
     [
       ("ktree-24-2", Generators.random_weights ~seed:5 ~max_weight:9 (Generators.k_tree ~seed:5 24 2));
       ( "partial-32-3",

@@ -116,7 +116,14 @@ type fault_config = {
   recovery : Repro_congest.Recovery.config option;
   detector_period : int;  (* heartbeat period of the degraded-mode probe *)
   max_retries : int;  (* transport retry budget before a link is declared dead *)
+  async : bool;  (* --async: force the asynchronous executor *)
 }
+
+(* does this configuration execute on the asynchronous substrate —
+   forced, or routed there by a timing dimension in the profile? *)
+let runs_async fc =
+  fc.async
+  || match fc.faults with Some f -> Fault.timing_active f | None -> false
 
 let drop_t =
   Arg.(
@@ -158,6 +165,11 @@ let parse_partition s =
     (fun e -> Printf.sprintf "bad --partition %S: %s" s e)
     (Fault.parse_partition s)
 
+let parse_straggle s =
+  Result.map_error
+    (fun e -> Printf.sprintf "bad --straggle %S: %s" s e)
+    (Fault.parse_straggle s)
+
 let crash_t =
   Arg.(
     value & opt_all string []
@@ -188,6 +200,55 @@ let corrupt_t =
            transport detects corrupt packets by checksum, rejects them and \
            retransmits; raw links (--unreliable) discard them as undecodable.")
 
+let straggle_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "straggle" ] ~docv:"NODE:FROM[:UNTIL[:FACTOR]]"
+        ~doc:
+          "Timing adversary (repeatable; implies the asynchronous executor): \
+           NODE straggles from pulse FROM. FACTOR >= 2 stretches its \
+           computation by that factor; FACTOR 0 or omitted stalls it (with \
+           UNTIL: a bounded stall; without: stalled forever, behaving as a \
+           crash-stop). An empty UNTIL (NODE:FROM::FACTOR) makes a slowdown \
+           permanent.")
+
+let link_latency_t =
+  Arg.(
+    value & opt int 0
+    & info [ "link-latency" ] ~docv:"L"
+        ~doc:
+          "Per-link latency bound (implies the asynchronous executor): each \
+           wire crossing draws 0..L extra virtual-time units, keyed on the \
+           fault seed.")
+
+let skew_t =
+  Arg.(
+    value & opt int 0
+    & info [ "skew" ] ~docv:"S"
+        ~doc:
+          "Bounded clock skew (implies the asynchronous executor): each node \
+           starts its virtual clock 0..S units late, keyed on the fault seed.")
+
+let async_t =
+  Arg.(
+    value & flag
+    & info [ "async" ]
+        ~doc:
+          "Run on the asynchronous virtual-time executor under the \
+           \xce\xb1-synchronizer even without timing faults (outputs and core \
+           metrics are byte-identical to the synchronous engine).")
+
+let pulse_deadline_t =
+  Arg.(
+    value & opt int 0
+    & info [ "pulse-deadline" ] ~docv:"D"
+        ~doc:
+          "Deadline-paced pulses (asynchronous executor only; 0 = off): stop \
+           waiting for a neighbor's SAFE D virtual-time units (doubling per \
+           consecutive miss) after the local step ends; after 3 consecutive \
+           misses the straggler is cut and its traffic dropped, so the \
+           failure detector suspects it and degraded mode excises it.")
+
 let checkpoint_every_t =
   Arg.(
     value & opt int (-1)
@@ -211,14 +272,15 @@ let replay_t =
 
 (* Rebuild a scripted adversary from a recorded trace. A trace whose
    runs were all fault-free replays as a plain deterministic run. *)
-let load_replay path unreliable recovery ~detector_period ~max_retries =
+let load_replay path unreliable recovery ~detector_period ~max_retries ~async =
   match Trace_io.read_jsonl ~path with
   | exception Repro_obs.Event.Parse_error msg -> Error ("--replay: " ^ msg)
   | exception Sys_error msg -> Error ("--replay: " ^ msg)
   | events ->
       let r = Replay.of_events events in
       if Replay.runs r = 0 then
-        Ok { faults = None; reliable = false; recovery; detector_period; max_retries }
+        Ok
+          { faults = None; reliable = false; recovery; detector_period; max_retries; async }
       else
         let crashes =
           List.map
@@ -243,17 +305,38 @@ let load_replay path unreliable recovery ~detector_period ~max_retries =
             (fun (extra, corrupt) -> { Fault.extra; corrupt })
             (Replay.plan r ~run ~round ~src ~dst)
         in
+        (* timing dimensions replay from the recorded seed alone: the
+           draws are pure hashes, so restoring the statics reproduces
+           the exact virtual-time schedule *)
+        let stragglers =
+          List.map
+            (fun (w : Replay.straggle_window) ->
+              Fault.straggle w.s_node ~from:w.s_from_round ?until:w.s_until_round
+                ~factor:w.s_factor)
+            (Replay.stragglers r)
+        in
+        let link_latency, skew, timing_seed =
+          match Replay.timing r with
+          | Some { Replay.link_latency; skew; timing_seed } ->
+              (link_latency, skew, timing_seed)
+          | None -> (0, 0, 0)
+        in
         Ok
           {
-            faults = Some (Fault.scripted ~crashes ~partitions plan);
+            faults =
+              Some
+                (Fault.scripted ~crashes ~partitions ~stragglers ~link_latency ~skew
+                   ~timing_seed plan);
             reliable = not unreliable;
             recovery;
             detector_period;
             max_retries;
+            async;
           }
 
 let make_fault_config replay drop dup delay corrupt crash_specs partition_specs
-    checkpoint_every fault_seed unreliable detector_period max_retries =
+    straggle_specs link_latency skew async pulse_deadline checkpoint_every fault_seed
+    unreliable detector_period max_retries =
   let ( let* ) = Result.bind in
   let* crashes =
     List.fold_left
@@ -271,21 +354,37 @@ let make_fault_config replay drop dup delay corrupt crash_specs partition_specs
         Ok (p :: acc))
       (Ok []) partition_specs
   in
+  let* stragglers =
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* s = parse_straggle spec in
+        Ok (s :: acc))
+      (Ok []) straggle_specs
+  in
   let* recovery =
     if checkpoint_every < -1 then Error "--checkpoint-every must be >= 0"
     else if checkpoint_every < 0 then Ok None
     else Ok (Some { Repro_congest.Recovery.checkpoint_every })
   in
+  let* () = if pulse_deadline < 0 then Error "--pulse-deadline must be >= 0" else Ok () in
+  (* process-wide executor dials, installed once per invocation (the
+     same pattern as Engine.audit_enabled / trace_sink) *)
+  Repro_congest.Async_engine.forced := async;
+  Repro_congest.Async_engine.deadline := pulse_deadline;
   match replay with
-  | Some path -> load_replay path unreliable recovery ~detector_period ~max_retries
+  | Some path -> load_replay path unreliable recovery ~detector_period ~max_retries ~async
   | None ->
       if drop = 0.0 && dup = 0.0 && delay = 0 && corrupt = 0.0 && crashes = []
-         && partitions = []
-      then Ok { faults = None; reliable = false; recovery; detector_period; max_retries }
+         && partitions = [] && stragglers = [] && link_latency = 0 && skew = 0
+      then
+        Ok
+          { faults = None; reliable = false; recovery; detector_period; max_retries; async }
       else (
         match
           Fault.profile ~drop ~duplicate:dup ~max_delay:delay ~corrupt
-            ~crashes:(List.rev crashes) ~partitions:(List.rev partitions) ()
+            ~crashes:(List.rev crashes) ~partitions:(List.rev partitions)
+            ~stragglers:(List.rev stragglers) ~link_latency ~skew ()
         with
         | profile ->
             Ok
@@ -295,6 +394,7 @@ let make_fault_config replay drop dup delay corrupt crash_specs partition_specs
                 recovery;
                 detector_period;
                 max_retries;
+                async;
               }
         | exception Invalid_argument msg -> Error msg)
 
@@ -320,8 +420,9 @@ let fault_config_t =
   Term.term_result' ~usage:true
     Term.(
       const make_fault_config $ replay_t $ drop_t $ dup_t $ delay_t $ corrupt_t $ crash_t
-      $ partition_t $ checkpoint_every_t $ fault_seed_t $ unreliable_t
-      $ detector_period_t $ max_retries_t)
+      $ partition_t $ straggle_t $ link_latency_t $ skew_t $ async_t $ pulse_deadline_t
+      $ checkpoint_every_t $ fault_seed_t $ unreliable_t $ detector_period_t
+      $ max_retries_t)
 
 let print_fault_config fc =
   (match fc.faults with
@@ -329,6 +430,11 @@ let print_fault_config fc =
   | Some f ->
       Format.printf "%a over %s links@." Fault.pp f
         (if fc.reliable then "reliable-transport" else "raw"));
+  if runs_async fc then
+    Format.printf "asynchronous executor on (\xce\xb1-synchronizer%s)@."
+      (if !Repro_congest.Async_engine.deadline > 0 then
+         Printf.sprintf ", pulse deadline %d" !Repro_congest.Async_engine.deadline
+       else "");
   match fc.recovery with
   | None -> ()
   | Some { Repro_congest.Recovery.checkpoint_every } ->
@@ -406,13 +512,22 @@ let permanent_faults fc =
       let p = Fault.profile_of f in
       List.exists (fun (pa : Fault.partition) -> pa.heal_round = None) p.Fault.partitions
       || List.exists (fun (c : Fault.crash) -> c.until_round = None) p.Fault.crashes
+      (* an unbounded stall only stops a node when the run actually
+         executes asynchronously — the synchronous engine keeps lockstep
+         by fiat and ignores timing *)
+      || (runs_async fc
+         && List.exists
+              (fun (s : Fault.straggle) -> s.s_until = None && s.factor = 0)
+              p.Fault.stragglers)
 
 let certified_subgraph fc obs g ~root =
   if not (permanent_faults fc) then None
   else begin
     let faults = fc.faults in
+    let async = runs_async fc in
     (match faults with
-    | Some f when Fault.eventually_down f root ->
+    | Some f when Fault.eventually_down f root || (async && Fault.eventually_stalled f root)
+      ->
         Format.printf "degraded-mode probe: root %d is crash-stopped; probe from a live node@."
           root;
         exit 1
@@ -426,7 +541,7 @@ let certified_subgraph fc obs g ~root =
     Format.printf "probe verdict: %a@." Repro_congest.Detector.pp_verdict verdict;
     Format.printf "probe:@ %a@." Metrics.pp pm;
     metrics_json obs ~name:"probe" pm;
-    let oracle = Repro_congest.Detector.oracle ?faults skeleton ~root in
+    let oracle = Repro_congest.Detector.oracle ?faults ~async skeleton ~root in
     let count a = Array.fold_left (fun k b -> if b then k + 1 else k) 0 a in
     match verdict with
     | Repro_congest.Detector.Complete ->

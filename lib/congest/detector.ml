@@ -36,12 +36,18 @@ let verdict_of_suspects skeleton ~root suspects =
     Partial { reachable; suspected }
   end
 
-let oracle ?faults skeleton ~root =
+let oracle ?faults ?(async = false) skeleton ~root =
   let n = Digraph.n skeleton in
   let severed, down =
     match faults with
     | None -> ((fun ~src:_ ~dst:_ -> false), fun _ -> false)
-    | Some f -> ((fun ~src ~dst -> Fault.severed f ~src ~dst), Fault.eventually_down f)
+    | Some f ->
+        ( (fun ~src ~dst -> Fault.severed f ~src ~dst),
+          fun v ->
+            Fault.eventually_down f v
+            (* under the asynchronous executor an unbounded stall is a
+               crash-stop: the node eventually goes silent forever *)
+            || (async && Fault.eventually_stalled f v) )
   in
   let reachable = Array.make n false in
   if not (down root) then begin

@@ -52,12 +52,16 @@ type verdict =
     from per-node suspect lists (as returned in {!Make.result}). *)
 val verdict_of_suspects : Repro_graph.Digraph.t -> root:int -> int list array -> verdict
 
-(** [oracle ?faults skeleton ~root] is the centralized ground truth a
-    [Partial] verdict is validated against: the component of [root]
-    after removing permanently severed links ({!Fault.severed}) and
-    crash-stopped nodes ({!Fault.eventually_down}). With no faults (or
-    only healing/transient ones) every node is reachable. *)
-val oracle : ?faults:Fault.t -> Repro_graph.Digraph.t -> root:int -> bool array
+(** [oracle ?faults ?async skeleton ~root] is the centralized ground
+    truth a [Partial] verdict is validated against: the component of
+    [root] after removing permanently severed links ({!Fault.severed})
+    and crash-stopped nodes ({!Fault.eventually_down}). When [async]
+    (default false: the run executes on the asynchronous substrate),
+    unbounded stall windows ({!Fault.eventually_stalled}) count as
+    crash-stops too. With no faults (or only healing/transient ones)
+    every node is reachable. *)
+val oracle :
+  ?faults:Fault.t -> ?async:bool -> Repro_graph.Digraph.t -> root:int -> bool array
 
 val pp_verdict : Format.formatter -> verdict -> unit
 

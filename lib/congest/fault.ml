@@ -6,6 +6,17 @@ type cut = Links of (int * int) list | Around of int list
 
 type partition = { cut : cut; from_round : int; heal_round : int option }
 
+(* A timing fault: during [s_from, s_until) node [s_node]'s local
+   computation per pulse is stretched by [factor] (virtual-time units;
+   1 = nominal). [factor = 0] encodes a stall: a bounded stall is
+   modeled as a [stall_factor]x slowdown (long enough to blow any
+   realistic pulse deadline), an unbounded one ([s_until = None]) stops
+   the node outright — under the asynchronous executor it behaves like
+   a crash-stop from [s_from] on. *)
+type straggle = { s_node : int; s_from : int; s_until : int option; factor : int }
+
+let stall_factor = 1000
+
 type profile = {
   drop : float;
   duplicate : float;
@@ -13,15 +24,31 @@ type profile = {
   corrupt : float;
   crashes : crash list;
   partitions : partition list;
+  stragglers : straggle list;
+  link_latency : int;
+  skew : int;
 }
 
 let reliable =
-  { drop = 0.0; duplicate = 0.0; max_delay = 0; corrupt = 0.0; crashes = []; partitions = [] }
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    max_delay = 0;
+    corrupt = 0.0;
+    crashes = [];
+    partitions = [];
+    stragglers = [];
+    link_latency = 0;
+    skew = 0;
+  }
 
 let crash ?until ?(mode = Freeze) ~from node =
   { node; from_round = from; until_round = until; mode }
 
 let partition ?heal ~from cut = { cut; from_round = from; heal_round = heal }
+
+let straggle ?until ?(factor = 0) ~from node =
+  { s_node = node; s_from = from; s_until = until; factor }
 
 let check_partition p =
   (match p.cut with
@@ -38,7 +65,8 @@ let check_partition p =
   | _ -> ()
 
 let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(corrupt = 0.0)
-    ?(crashes = []) ?(partitions = []) () =
+    ?(crashes = []) ?(partitions = []) ?(stragglers = []) ?(link_latency = 0) ?(skew = 0)
+    () =
   let check_prob name p =
     if p < 0.0 || p >= 1.0 then
       invalid_arg (Printf.sprintf "Fault.profile: %s=%g outside [0,1)" name p)
@@ -60,7 +88,20 @@ let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(corrupt = 0.0)
       | _ -> ())
     crashes;
   List.iter check_partition partitions;
-  { drop; duplicate; max_delay; corrupt; crashes; partitions }
+  List.iter
+    (fun (s : straggle) ->
+      if s.s_from < 0 then invalid_arg "Fault.profile: negative straggle round";
+      if s.factor < 0 then invalid_arg "Fault.profile: negative straggle factor";
+      if s.factor = 1 then
+        invalid_arg "Fault.profile: straggle factor 1 is a no-op (use 0 = stall, or >= 2)";
+      match s.s_until with
+      | Some u when u <= s.s_from ->
+          invalid_arg "Fault.profile: straggle window ends before it starts"
+      | _ -> ())
+    stragglers;
+  if link_latency < 0 then invalid_arg "Fault.profile: negative link_latency";
+  if skew < 0 then invalid_arg "Fault.profile: negative skew";
+  { drop; duplicate; max_delay; corrupt; crashes; partitions; stragglers; link_latency; skew }
 
 (* A copy's fate once it survives the partition check: how many extra
    rounds it is held, and whether its payload is garbled in flight. *)
@@ -87,11 +128,18 @@ let create ?(seed = 0) p =
     run = -1;
   }
 
-let scripted ?(crashes = []) ?(partitions = []) plan =
-  { p = profile ~crashes ~partitions (); decider = Scripted plan; seed = 0; run = -1 }
+let scripted ?(crashes = []) ?(partitions = []) ?(stragglers = []) ?(link_latency = 0)
+    ?(skew = 0) ?(timing_seed = 0) plan =
+  {
+    p = profile ~crashes ~partitions ~stragglers ~link_latency ~skew ();
+    decider = Scripted plan;
+    seed = timing_seed;
+    run = -1;
+  }
 
 let begin_run t = t.run <- t.run + 1
 let profile_of t = t.p
+let seed_of t = t.seed
 
 let plan t ~round ~src ~dst =
   match t.decider with
@@ -162,6 +210,45 @@ let severed t ~src ~dst =
   List.exists
     (fun p -> p.heal_round = None && cut_covers p.cut ~src ~dst)
     t.p.partitions
+
+(* ------------------------------------------------- timing adversary *)
+(* Every timing draw is a pure hash of (seed, salt, coordinates), not a
+   pull on the profile's RNG stream: draws are order-independent, so
+   the asynchronous executor can consult them in any event order
+   without perturbing [plan]'s stream — synchronous runs of the same
+   profile stay byte-identical — and replay only needs the seed (the
+   same idiom as Transport's retransmission jitter). *)
+
+let timing_active t =
+  t.p.stragglers <> [] || t.p.link_latency > 0 || t.p.skew > 0
+
+let in_straggle_window (s : straggle) ~round =
+  round >= s.s_from && (match s.s_until with None -> true | Some u -> round < u)
+
+(* nominal = 1; a bounded stall is a [stall_factor]x slowdown *)
+let straggle_factor t ~round v =
+  match
+    List.find_opt (fun s -> s.s_node = v && in_straggle_window s ~round) t.p.stragglers
+  with
+  | None -> 1
+  | Some { factor = 0; s_until = Some _; _ } -> stall_factor
+  | Some { factor = 0; s_until = None; _ } -> 0
+  | Some s -> s.factor
+
+let stalled_forever t ~round v =
+  List.exists
+    (fun s -> s.s_node = v && s.factor = 0 && s.s_until = None && round >= s.s_from)
+    t.p.stragglers
+
+let eventually_stalled t v =
+  List.exists (fun s -> s.s_node = v && s.factor = 0 && s.s_until = None) t.p.stragglers
+
+let skew_of t v =
+  if t.p.skew = 0 then 0 else Hashtbl.hash (t.seed, 0x5e3a, v) mod (t.p.skew + 1)
+
+let latency t ~round ~src ~dst ~leg =
+  if t.p.link_latency = 0 then 0
+  else Hashtbl.hash (t.seed, 0x1a7e, round, src, dst, leg) mod (t.p.link_latency + 1)
 
 (* ------------------------------------------------- CLI spec grammar *)
 (* The --crash/--partition specs live here (not in bin/) so the parser
@@ -285,19 +372,78 @@ let parse_partition s =
         (Printf.sprintf "%d field(s), want 2-3; expected %s" (List.length parts)
            partition_grammar)
 
+let pp_straggle fmt (s : straggle) =
+  Format.fprintf fmt "%d:%d" s.s_node s.s_from;
+  match (s.s_until, s.factor) with
+  | None, 0 -> ()
+  | None, f -> Format.fprintf fmt "::%d" f
+  | Some u, 0 -> Format.fprintf fmt ":%d" u
+  | Some u, f -> Format.fprintf fmt ":%d:%d" u f
+
+let straggle_grammar =
+  "NODE:FROM[:UNTIL[:FACTOR]] (FACTOR 0 or omitted = stall, >= 2 = slowdown; empty UNTIL \
+   = forever)"
+
+let parse_straggle s =
+  let err field what got why =
+    Error
+      (Printf.sprintf "field %d (%s) %S %s; expected %s" field what got why
+         straggle_grammar)
+  in
+  let int_field idx name v =
+    match int_of_string_opt (String.trim v) with
+    | Some i -> Ok i
+    | None -> err idx name v "is not an integer"
+  in
+  let until_field v =
+    (* an empty UNTIL keeps the window open forever (so a permanent
+       slowdown is expressible as NODE:FROM::FACTOR) *)
+    if String.trim v = "" then Ok None
+    else Result.map Option.some (int_field 3 "UNTIL" v)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' s with
+  | [ node; from ] ->
+      let* node = int_field 1 "NODE" node in
+      let* from = int_field 2 "FROM" from in
+      Ok (straggle node ~from)
+  | [ node; from; until ] ->
+      let* node = int_field 1 "NODE" node in
+      let* from = int_field 2 "FROM" from in
+      let* until = until_field until in
+      Ok (straggle node ~from ?until)
+  | [ node; from; until; factor ] ->
+      let* node = int_field 1 "NODE" node in
+      let* from = int_field 2 "FROM" from in
+      let* until = until_field until in
+      let* factor = int_field 4 "FACTOR" factor in
+      Ok (straggle node ~from ?until ~factor)
+  | parts ->
+      Error
+        (Printf.sprintf "%d field(s), want 2-4; expected %s" (List.length parts)
+           straggle_grammar)
+
 let pp fmt t =
   let amnesia = List.length (List.filter (fun c -> c.mode = Amnesia) t.p.crashes) in
+  let timing fmt () =
+    if t.p.stragglers <> [] || t.p.link_latency > 0 || t.p.skew > 0 then
+      Format.fprintf fmt " stragglers=%d latency<=%d skew<=%d"
+        (List.length t.p.stragglers)
+        t.p.link_latency t.p.skew
+  in
   match t.decider with
   | Scripted _ ->
-      Format.fprintf fmt "faults(scripted crashes=%d amnesia=%d partitions=%d)"
+      Format.fprintf fmt "faults(scripted crashes=%d amnesia=%d partitions=%d%a)"
         (List.length t.p.crashes)
         amnesia
         (List.length t.p.partitions)
+        timing ()
   | Rng _ ->
       Format.fprintf fmt
         "faults(seed=%d drop=%g dup=%g delay<=%d corrupt=%g crashes=%d amnesia=%d \
-         partitions=%d)"
+         partitions=%d%a)"
         t.seed t.p.drop t.p.duplicate t.p.max_delay t.p.corrupt
         (List.length t.p.crashes)
         amnesia
         (List.length t.p.partitions)
+        timing ()

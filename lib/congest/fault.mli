@@ -80,6 +80,31 @@ type partition = {
 (** [partition ~from ?heal cut] builds a partition window. *)
 val partition : ?heal:int -> from:int -> cut -> partition
 
+(** A timing fault (the seventh fault dimension; only the asynchronous
+    executor observes it — the synchronous engine enforces lockstep by
+    fiat and ignores timing entirely). During the window, node
+    [s_node]'s per-pulse computation is stretched by [factor] in
+    virtual time. [factor = 0] encodes a stall: bounded stalls are
+    modeled as a {!stall_factor}[x] slowdown, and an unbounded stall
+    ([s_until = None]) stops the node outright — the asynchronous
+    executor treats it like a crash-stop from [s_from] on, and the
+    deadline-paced synchronizer cuts it so the run terminates. *)
+type straggle = {
+  s_node : int;
+  s_from : int;  (** first pulse the window covers. *)
+  s_until : int option;  (** [None] = forever; [Some u] = pulses < [u]. *)
+  factor : int;  (** 0 = stall; >= 2 = slowdown multiplier. *)
+}
+
+(** Virtual-time slowdown standing in for a bounded stall: long enough
+    to blow any realistic pulse deadline, still finite so undeadlined
+    runs terminate. *)
+val stall_factor : int
+
+(** [straggle ~from ?until ?factor node] builds a straggler window;
+    [factor] defaults to [0] (stall). *)
+val straggle : ?until:int -> ?factor:int -> from:int -> int -> straggle
+
 type profile = {
   drop : float;  (** per-copy loss probability, in [0, 1). *)
   duplicate : float;  (** per-message duplication probability, in [0, 1). *)
@@ -87,6 +112,13 @@ type profile = {
   corrupt : float;  (** per-copy payload-corruption probability, in [0, 1). *)
   crashes : crash list;
   partitions : partition list;
+  stragglers : straggle list;  (** per-node straggler windows. *)
+  link_latency : int;
+      (** max extra virtual-time units a copy (or ack) spends on the
+          wire; >= 0. Pure latency: never changes which pulse a copy is
+          delivered in, only when the synchronizer can declare the pulse
+          safe. *)
+  skew : int;  (** max per-node virtual-clock offset at pulse 0; >= 0. *)
 }
 
 (** All-zero profile (the adversary does nothing). *)
@@ -105,6 +137,9 @@ val profile :
   ?corrupt:float ->
   ?crashes:crash list ->
   ?partitions:partition list ->
+  ?stragglers:straggle list ->
+  ?link_latency:int ->
+  ?skew:int ->
   unit ->
   profile
 
@@ -133,11 +168,20 @@ val create : ?seed:int -> profile -> t
     [--replay] (the schedule comes from [Repro_obs.Replay]); the random
     dimensions of the profile are all zero.
 
+    The timing dimensions replay through [stragglers]/[link_latency]/
+    [skew]/[timing_seed]: timing draws are pure hashes of the seed (see
+    {!latency}), so restoring the recorded seed reproduces the exact
+    virtual-time schedule without any recorded per-copy data.
+
     @raise Invalid_argument if [crashes] or [partitions] is invalid (as
     {!profile}). *)
 val scripted :
   ?crashes:crash list ->
   ?partitions:partition list ->
+  ?stragglers:straggle list ->
+  ?link_latency:int ->
+  ?skew:int ->
+  ?timing_seed:int ->
   (run:int -> round:int -> src:int -> dst:int -> fate list) ->
   t
 
@@ -148,6 +192,11 @@ val scripted :
 val begin_run : t -> unit
 
 val profile_of : t -> profile
+
+(** [seed_of t] — the seed the timing hashes draw from ([timing_seed]
+    for scripted adversaries); recorded in the [Timing] trace event so
+    replay reconstructs the virtual-time schedule. *)
+val seed_of : t -> int
 
 (** [plan t ~round ~src ~dst] decides the fate of one message sent on link
     [src -> dst] at [round]: one {!fate} per copy to deliver. [[]] means
@@ -196,6 +245,50 @@ val link_down : t -> round:int -> src:int -> dst:int -> bool
     oracle ({!Detector.oracle}). *)
 val severed : t -> src:int -> dst:int -> bool
 
+(** {2 Timing adversary}
+
+    Timing draws are pure hashes of the adversary's seed and the draw's
+    coordinates — not pulls on the profile's RNG stream. They are
+    order-independent (the asynchronous executor consults them in event
+    order, which differs from the synchronous send order), they leave
+    {!plan}'s stream untouched (a synchronous run of the same profile is
+    byte-identical with or without timing dimensions), and they replay
+    from the seed alone. Only {!Async_engine}/{!Synchronizer} consult
+    them; the synchronous engine enforces lockstep by fiat. *)
+
+(** [timing_active t] — does the profile have any timing dimension
+    (stragglers, link latency, or clock skew)? {!Synchronizer} routes
+    such runs through the asynchronous executor. *)
+val timing_active : t -> bool
+
+(** [straggle_factor t ~round v] — the virtual-time stretch of node
+    [v]'s computation at pulse [round]: 1 = nominal, [>= 2] = slowdown
+    ({!stall_factor} for a bounded stall), 0 = stalled forever. *)
+val straggle_factor : t -> round:int -> int -> int
+
+(** [stalled_forever t ~round v] — is [v] inside an unbounded stall
+    window at [round]? The asynchronous executor treats such a node as
+    crash-stopped: it neither steps nor sends, and copies addressed to
+    it are dropped. *)
+val stalled_forever : t -> round:int -> int -> bool
+
+(** [eventually_stalled t v] — does some unbounded stall window
+    eventually stop [v]? The asynchronous analogue of
+    {!eventually_down}, consulted by {!Detector.oracle} when the run
+    executes asynchronously. *)
+val eventually_stalled : t -> int -> bool
+
+(** [skew_of t v] — node [v]'s virtual-clock offset at pulse 0, drawn
+    uniformly from [0..skew]. *)
+val skew_of : t -> int -> int
+
+(** [latency t ~round ~src ~dst ~leg] — extra virtual-time units the
+    [leg]-th wire crossing of the [src -> dst] transmission at pulse
+    [round] spends in flight, drawn uniformly from [0..link_latency].
+    [leg] separates the draws for the data copy, its acknowledgement
+    and the SAFE fan-out so they are independent. *)
+val latency : t -> round:int -> src:int -> dst:int -> leg:int -> int
+
 (** {2 CLI spec grammar}
 
     The [--crash]/[--partition] flag grammar lives here, next to the
@@ -222,5 +315,16 @@ val pp_partition : Format.formatter -> partition -> unit
     the listed nodes), down from round [FROM], healing at [HEAL] if
     given. *)
 val parse_partition : string -> (partition, string) result
+
+(** Prints [NODE:FROM[:UNTIL[:FACTOR]]]; [FACTOR] omitted for stalls,
+    [UNTIL] left empty ([::FACTOR]) for permanent slowdowns, both
+    omitted for permanent stalls. *)
+val pp_straggle : Format.formatter -> straggle -> unit
+
+(** [parse_straggle s] parses a [--straggle] spec
+    ([NODE:FROM[:UNTIL[:FACTOR]]]): node [NODE] straggles from pulse
+    [FROM] until [UNTIL] (forever when omitted or empty), stretched by
+    [FACTOR] (omitted or [0] = stall, [>= 2] = slowdown). *)
+val parse_straggle : string -> (straggle, string) result
 
 val pp : Format.formatter -> t -> unit

@@ -14,6 +14,10 @@ type t = {
   mutable checkpoint_words : int;
   mutable recoveries : int;
   mutable resync_rounds : int;
+  mutable pulses : int;
+  mutable safe_messages : int;
+  mutable straggles : int;
+  mutable virtual_time : int;
   per_label : (string, int ref) Hashtbl.t;
 }
 
@@ -34,6 +38,10 @@ let create () =
     checkpoint_words = 0;
     recoveries = 0;
     resync_rounds = 0;
+    pulses = 0;
+    safe_messages = 0;
+    straggles = 0;
+    virtual_time = 0;
     per_label = Hashtbl.create 16;
   }
 
@@ -58,6 +66,12 @@ let add_checkpoints t k = t.checkpoints <- t.checkpoints + k [@@hot]
 let add_checkpoint_words t k = t.checkpoint_words <- t.checkpoint_words + k [@@hot]
 let add_recoveries t k = t.recoveries <- t.recoveries + k [@@hot]
 let add_resync_rounds t k = t.resync_rounds <- t.resync_rounds + k [@@hot]
+let add_pulses t k = t.pulses <- t.pulses + k [@@hot]
+let add_safe_messages t k = t.safe_messages <- t.safe_messages + k [@@hot]
+let add_straggles t k = t.straggles <- t.straggles + k [@@hot]
+
+(* the virtual-time makespan is a high-water mark, not a sum *)
+let observe_virtual_time t vt = if vt > t.virtual_time then t.virtual_time <- vt [@@hot]
 let rounds t = t.rounds
 let messages t = t.messages
 let words t = t.words
@@ -73,6 +87,10 @@ let checkpoints t = t.checkpoints
 let checkpoint_words t = t.checkpoint_words
 let recoveries t = t.recoveries
 let resync_rounds t = t.resync_rounds
+let pulses t = t.pulses
+let safe_messages t = t.safe_messages
+let straggles t = t.straggles
+let virtual_time t = t.virtual_time
 
 let breakdown t =
   Det_tbl.bindings t.per_label ~compare:String.compare
@@ -96,6 +114,10 @@ let merge ~into src =
   into.checkpoint_words <- into.checkpoint_words + src.checkpoint_words;
   into.recoveries <- into.recoveries + src.recoveries;
   into.resync_rounds <- into.resync_rounds + src.resync_rounds;
+  into.pulses <- into.pulses + src.pulses;
+  into.safe_messages <- into.safe_messages + src.safe_messages;
+  into.straggles <- into.straggles + src.straggles;
+  if src.virtual_time > into.virtual_time then into.virtual_time <- src.virtual_time;
   Det_tbl.iter_sorted src.per_label ~compare:String.compare (fun label r ->
       add into ~label !r)
 
@@ -119,9 +141,10 @@ let to_json ?name t =
   | Some n -> Printf.bprintf buf {|"name":"%s",|} (json_escape n)
   | None -> ());
   Printf.bprintf buf
-    {|"rounds":%d,"messages":%d,"words":%d,"delivered":%d,"dropped":%d,"duplicated":%d,"retransmissions":%d,"corrupted":%d,"rejected":%d,"suspicions":%d,"link_failures":%d,"checkpoints":%d,"checkpoint_words":%d,"recoveries":%d,"resync_rounds":%d,"labels":{|}
+    {|"rounds":%d,"messages":%d,"words":%d,"delivered":%d,"dropped":%d,"duplicated":%d,"retransmissions":%d,"corrupted":%d,"rejected":%d,"suspicions":%d,"link_failures":%d,"checkpoints":%d,"checkpoint_words":%d,"recoveries":%d,"resync_rounds":%d,"pulses":%d,"safe_messages":%d,"straggles":%d,"virtual_time":%d,"labels":{|}
     t.rounds t.messages t.words t.delivered t.dropped t.duplicated t.retransmissions
-    t.corrupted t.rejected t.suspicions t.link_failures t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds;
+    t.corrupted t.rejected t.suspicions t.link_failures t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds
+    t.pulses t.safe_messages t.straggles t.virtual_time;
   List.iteri
     (fun i (l, r) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -143,5 +166,8 @@ let pp fmt t =
   if t.checkpoints > 0 || t.recoveries > 0 then
     Format.fprintf fmt " checkpoints=%d checkpoint_words=%d recoveries=%d resync_rounds=%d"
       t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds;
+  if t.pulses > 0 then
+    Format.fprintf fmt " pulses=%d safe_messages=%d straggles=%d virtual_time=%d"
+      t.pulses t.safe_messages t.straggles t.virtual_time;
   List.iter (fun (l, r) -> Format.fprintf fmt "@,  %-24s %d" l r) (breakdown t);
   Format.fprintf fmt "@]"

@@ -83,6 +83,27 @@ val add_recoveries : t -> int -> unit
     node (the HELLO/RESYNC handshake window). *)
 val add_resync_rounds : t -> int -> unit
 
+(** [add_pulses t k] records [k] synchronizer pulses begun (one per live
+    node per logical round under the asynchronous executor). Pulses are
+    control overhead: they are charged separately from [rounds] so the
+    user-level cost of a run is identical between the synchronous engine
+    and the synchronizer. *)
+val add_pulses : t -> int -> unit
+
+(** [add_safe_messages t k] records [k] SAFE notifications fanned out by
+    the α-synchronizer (one per live neighbor per completed pulse) —
+    control traffic charged separately from [messages]/[words]. *)
+val add_safe_messages : t -> int -> unit
+
+(** [add_straggles t k] records [k] node-pulses executed under an active
+    straggler window (slowed or stalled). *)
+val add_straggles : t -> int -> unit
+
+(** [observe_virtual_time t vt] raises the recorded virtual-time
+    makespan to [vt] if larger — a high-water mark, not a sum (and
+    {!merge} takes the max across runs). *)
+val observe_virtual_time : t -> int -> unit
+
 val rounds : t -> int
 val messages : t -> int
 val words : t -> int
@@ -98,6 +119,10 @@ val checkpoints : t -> int
 val checkpoint_words : t -> int
 val recoveries : t -> int
 val resync_rounds : t -> int
+val pulses : t -> int
+val safe_messages : t -> int
+val straggles : t -> int
+val virtual_time : t -> int
 
 (** [breakdown t] lists [(label, rounds)] aggregated per label,
     sorted by decreasing rounds. *)

@@ -1,0 +1,66 @@
+(** α-synchronizer over the asynchronous executor.
+
+    [Synchronizer.Make (M)] exposes the exact [run] interface of
+    [Engine.Make (M)], and dispatches: a run whose fault profile has a
+    timing dimension ({!Fault.timing_active}) — or any run while
+    {!Async_engine.forced} is set — executes on the asynchronous
+    virtual-time substrate; every other run goes straight to the
+    synchronous engine, byte-for-byte unchanged. Algorithms therefore
+    run unchanged over either executor through the same
+    [~init]/[~step] interface.
+
+    The asynchronous path implements Awerbuch's α-synchronizer:
+
+    - a {e pulse} coincides with one logical engine round. Node [v]
+      begins pulse 0 at its clock-skew offset; its pulse-[p]
+      computation costs [straggle_factor] virtual-time units.
+    - every copy [v] sends spends [1 + latency] units per wire
+      crossing; when the acknowledgement of every pulse-[p] copy is
+      back (drops are sender-detectable — the NACK travels the ack's
+      schedule), [v] is {e safe} and fans SAFE to its live neighbors.
+    - [v] starts pulse [p + 1] at the maximum of: its own step end and
+      SAFE point, the physical arrival of every copy addressed into
+      pulse [p + 1], and the arrival of every live uncut neighbor's
+      pulse-[p] SAFE. When {!Async_engine.deadline} pacing is on, a
+      neighbor whose terms alone hold that gate open past everything
+      else [v] is waiting for (by more than the backed-off allowance)
+      is struck, and after [max_strikes] consecutive strikes cut; its
+      copies then drop with reason [Straggler], starving the heartbeat
+      {!Detector} into suspecting it. The criterion is relative, so
+      lag inherited from a straggler deeper in the graph cancels out
+      instead of cascading cuts ring by ring.
+
+    Determinism and exactness (DESIGN.md Section 3g): user steps run
+    in virtual-time order off a deterministic event queue, but the
+    adversary's fates are drawn at pulse commit in the engine's
+    canonical order, and timing draws are pure seed hashes — so
+    outputs and the core traffic metrics are byte-identical to the
+    synchronous engine whenever the timing dimensions preserve
+    semantics (no unbounded stalls, deadline pacing off). Synchronizer
+    overhead is charged to the separate [pulses] / [safe_messages] /
+    [straggles] / [virtual_time] counters. A node inside an unbounded
+    stall window is treated as crash-stopped. *)
+
+module Make (M : Engine.MSG) : sig
+  type inbox = (int * M.t) list
+  type outbox = (int * M.t) list
+
+  (** Same contract as [Engine.Make(M).run] — see {!Engine.Make}. The
+      asynchronous path enforces the identical bandwidth, audit and
+      round-limit semantics and raises the engine's exceptions. *)
+  val run :
+    Repro_graph.Digraph.t ->
+    init:(int -> 'st) ->
+    step:(round:int -> node:int -> 'st -> inbox -> 'st * outbox) ->
+    active:('st -> bool) ->
+    ?faults:Fault.t ->
+    ?on_restart:(round:int -> node:int -> 'st) ->
+    ?corrupt:(M.t -> M.t) ->
+    ?audit:bool ->
+    ?max_rounds:int ->
+    ?max_words:int ->
+    metrics:Metrics.t ->
+    label:string ->
+    unit ->
+    'st array
+end

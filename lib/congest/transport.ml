@@ -37,7 +37,7 @@ module Make (M : Engine.MSG) = struct
     let intact p = checksum p = p.crc
   end
 
-  module E = Engine.Make (Packet)
+  module E = Synchronizer.Make (Packet)
 
   type link = {
     mutable next_seq : int;

@@ -3,17 +3,24 @@
    The message-dependency DAG: a copy m2 sent by node v at round r2
    depends on every copy delivered to v at a round <= r2 (v's state
    when it produced m2 could reflect it). The longest dependency chain
-   is computed with the DP best(v) = longest chain ending with a
-   delivery at v; a send from v extends best(v) by one, and the
-   extended chain is captured at *send* time (best(v) may improve
-   before the copy lands). One subtlety: the engine's per-node loop
-   interleaves round-r sends with round-(r+1) deliveries in the event
-   stream, so a delivery must not become visible to the DP until the
-   round it lands in — deliveries are staged and committed at the next
-   [Round_start]. The chain length lower-bounds the makespan of the same
-   message pattern under *any* schedule (each chain message costs at
-   least one round): the "dilation" term of the dilation+congestion
-   bounds the shortcut framework optimizes. *)
+   is computed with the DP best(v) = heaviest chain ending with a
+   delivery at v; a send from v extends best(v), and the extended
+   chain is captured at *send* time (best(v) may improve before the
+   copy lands). One subtlety: the engine's per-node loop interleaves
+   round-r sends with round-(r+1) deliveries in the event stream, so a
+   delivery must not become visible to the DP until the round it lands
+   in — deliveries are staged and committed at the next [Round_start].
+
+   Chains are weighted in rounds, not messages: a hop costs
+   [deliver_round - send_round], so a copy the adversary delayed — or
+   a transport retransmission that only landed on a later attempt —
+   stretches the chain by the rounds it actually spent in flight
+   instead of counting as one. The heaviest chain weight lower-bounds
+   the makespan of the recorded execution (its hops occupy disjoint
+   round intervals): the "dilation" term of the dilation+congestion
+   bounds the shortcut framework optimizes. On a fault-free trace
+   every hop costs exactly one round and the weight equals the chain
+   length, as before. *)
 
 type link = { send_round : int; src : int; dst : int; deliver_round : int }
 
@@ -26,10 +33,21 @@ type report = {
   delivered : int;
   dropped : int;
   retransmits : int;
-  chain : link list;  (* longest dependency chain, causal order *)
+  bound : int;  (* makespan lower bound in rounds (chain weight) *)
+  chain : link list;  (* heaviest dependency chain, causal order *)
+  slack : (int * int) list;
+      (* (node, bound - heaviest chain ending at the node), most
+         critical first (slack 0 = on the critical path), top k *)
   idle : (int * int) list;  (* (node, idle rounds), worst first, top k *)
   congested : (int * int * int * int) list;
       (* (src, dst, words, sends), heaviest first, top k *)
+  pulses : int;  (* async pulses observed (0 on synchronous traces) *)
+  pulse_p50 : int;  (* pulse duration percentiles in vt units *)
+  pulse_p99 : int;
+  pulse_max : int;
+  straggle_tail : (int * int * int) list;
+      (* (node, straggled pulses, worst pulse duration in vt units),
+         worst first, top k — the straggler tail of an async run *)
 }
 
 let chain_length r = List.length r.chain
@@ -37,15 +55,17 @@ let chain_length r = List.length r.chain
 let analyze ?(top = 5) (run : Trace_io.run) =
   let nodes = max (Trace_io.max_node run + 1) 1 in
   let rounds = Trace_io.run_max_round run + 1 in
-  (* DP state: length of, and the reversed chain behind, the longest
+  (* DP state: weight of, and the reversed chain behind, the heaviest
      dependency chain ending with a delivery at each node *)
-  let best_len = Array.make nodes 0 in
+  let best_w = Array.make nodes 0 in
   let best_chain = Array.make nodes [] in
-  (* copies in flight: (send_round, src, dst) -> candidate chain *)
+  (* copies in flight: (send_round, src, dst) -> chain weight at send
+     time and the candidate chain; the hop's own cost is only known at
+     delivery *)
   let pending : (int * int * int, int * link list) Hashtbl.t = Hashtbl.create 1024 in
   (* deliveries staged until their round starts: (deliver_round, dst,
-     len, chain) — a round-(r+1) delivery appears in the stream during
-     round r and must stay invisible to round-r sends *)
+     weight, chain) — a round-(r+1) delivery appears in the stream
+     during round r and must stay invisible to round-r sends *)
   let staged = ref [] in
   let commit_staged upto =
     let commit_now, keep =
@@ -55,9 +75,9 @@ let analyze ?(top = 5) (run : Trace_io.run) =
     (* commit oldest first so a chain through two staged hops resolves
        in round order *)
     List.iter
-      (fun (_, dst, len, chain) ->
-        if len > best_len.(dst) then begin
-          best_len.(dst) <- len;
+      (fun (_, dst, w, chain) ->
+        if w > best_w.(dst) then begin
+          best_w.(dst) <- w;
           best_chain.(dst) <- chain
         end)
       (List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) commit_now)
@@ -74,6 +94,13 @@ let analyze ?(top = 5) (run : Trace_io.run) =
   (* per-edge load: (src, dst) -> (words, sends) *)
   let load : (int * int, int ref * int ref) Hashtbl.t = Hashtbl.create 256 in
   let sends = ref 0 and delivered = ref 0 and dropped = ref 0 and retransmits = ref 0 in
+  (* straggler tail of an async run: pulse durations (vt from Pulse to
+     the node's Safe in the same pulse), plus per-node straggle counts *)
+  let pulse_vt = Array.make nodes (-1) in
+  let durations = ref [] in
+  let n_durations = ref 0 in
+  let straggles = Array.make nodes 0 in
+  let worst_pulse = Array.make nodes 0 in
   List.iter
     (fun (e : Event.t) ->
       match e with
@@ -81,7 +108,7 @@ let analyze ?(top = 5) (run : Trace_io.run) =
           incr sends;
           mark src round;
           Hashtbl.replace pending (round, src, dst)
-            ( best_len.(src) + 1,
+            ( best_w.(src),
               { send_round = round; src; dst; deliver_round = -1 } :: best_chain.(src) );
           let w, s =
             match Hashtbl.find_opt load (src, dst) with
@@ -97,20 +124,41 @@ let analyze ?(top = 5) (run : Trace_io.run) =
           incr delivered;
           mark dst round;
           match Hashtbl.find_opt pending (send_round, src, dst) with
-          | Some (len, link :: prefix) ->
-              staged := (round, dst, len, { link with deliver_round = round } :: prefix) :: !staged
+          | Some (base, link :: prefix) ->
+              (* the hop's cost is the rounds the copy spent in flight *)
+              let w = base + max 1 (round - send_round) in
+              staged := (round, dst, w, { link with deliver_round = round } :: prefix) :: !staged
           | Some (_, []) | None -> ())
       | Round_start { round } -> commit_staged round
       | Drop _ -> incr dropped
       | Retransmit _ -> incr retransmits
+      | Pulse { node; vt; _ } -> pulse_vt.(node) <- vt
+      | Safe { node; vt; _ } ->
+          if pulse_vt.(node) >= 0 then begin
+            let d = vt - pulse_vt.(node) in
+            durations := d :: !durations;
+            incr n_durations;
+            if d > worst_pulse.(node) then worst_pulse.(node) <- d;
+            pulse_vt.(node) <- -1
+          end
+      | Straggle { node; _ } -> straggles.(node) <- straggles.(node) + 1
       | _ -> ())
     run.events;
   commit_staged max_int;
   let winner = ref 0 in
   for v = 1 to nodes - 1 do
-    if best_len.(v) > best_len.(!winner) then winner := v
+    if best_w.(v) > best_w.(!winner) then winner := v
   done;
+  let bound = best_w.(!winner) in
   let chain = List.rev best_chain.(!winner) in
+  let slack =
+    List.init nodes (fun v -> (v, bound - best_w.(v)))
+    |> List.filter (fun (v, _) -> active.(v) > 0)
+    |> List.sort (fun (v1, s1) (v2, s2) ->
+           let c = Int.compare s1 s2 in
+           if c <> 0 then c else Int.compare v1 v2)
+    |> List.filteri (fun i _ -> i < top)
+  in
   let idle =
     List.init nodes (fun v -> (v, rounds - active.(v)))
     |> List.filter (fun (_, i) -> i > 0)
@@ -129,6 +177,26 @@ let analyze ?(top = 5) (run : Trace_io.run) =
              if c <> 0 then c else Int.compare d1 d2)
     |> List.filteri (fun i _ -> i < top)
   in
+  let pulse_p50, pulse_p99, pulse_max =
+    if !n_durations = 0 then (0, 0, 0)
+    else begin
+      let a = Array.of_list !durations in
+      Array.sort Int.compare a;
+      let len = Array.length a in
+      let pct p = a.(min (len - 1) (p * len / 100)) in
+      (pct 50, pct 99, a.(len - 1))
+    end
+  in
+  let straggle_tail =
+    if !n_durations = 0 then []
+    else
+      List.init nodes (fun v -> (v, straggles.(v), worst_pulse.(v)))
+      |> List.filter (fun (_, s, w) -> s > 0 || w > pulse_p99)
+      |> List.sort (fun (v1, _, w1) (v2, _, w2) ->
+             let c = Int.compare w2 w1 in
+             if c <> 0 then c else Int.compare v1 v2)
+      |> List.filteri (fun i _ -> i < top)
+  in
   {
     label = run.label;
     faulty = run.faulty;
@@ -138,9 +206,16 @@ let analyze ?(top = 5) (run : Trace_io.run) =
     delivered = !delivered;
     dropped = !dropped;
     retransmits = !retransmits;
+    bound;
     chain;
+    slack;
     idle;
     congested;
+    pulses = !n_durations;
+    pulse_p50;
+    pulse_p99;
+    pulse_max;
+    straggle_tail;
   }
 
 let analyze_all ?top events = List.map (analyze ?top) (Trace_io.split_runs events)
@@ -151,11 +226,11 @@ let pp_report fmt r =
     r.label
     (if r.faulty then " [faulty]" else "")
     r.nodes r.rounds r.sends r.delivered r.dropped r.retransmits;
-  fprintf fmt "  longest dependency chain: %d message(s)" (chain_length r);
+  fprintf fmt "  heaviest dependency chain: %d message(s)" (chain_length r);
   (match (r.chain, List.rev r.chain) with
   | first :: _, last :: _ ->
-      fprintf fmt " spanning rounds %d..%d (makespan lower bound %d, measured %d)@,"
-        first.send_round last.deliver_round (chain_length r) r.rounds;
+      fprintf fmt " spanning rounds %d..%d (makespan lower bound %d round(s), measured %d)@,"
+        first.send_round last.deliver_round r.bound r.rounds;
       let shown = List.filteri (fun i _ -> i < 8) r.chain in
       List.iter
         (fun l ->
@@ -164,6 +239,11 @@ let pp_report fmt r =
         shown;
       if chain_length r > 8 then fprintf fmt "    ... (%d more)@," (chain_length r - 8)
   | _ -> fprintf fmt "@,");
+  if r.slack <> [] then begin
+    fprintf fmt "  critical nodes (lowest slack): ";
+    List.iter (fun (v, s) -> fprintf fmt "node %d: %d  " v s) r.slack;
+    fprintf fmt "@,"
+  end;
   if r.idle <> [] then begin
     fprintf fmt "  idle rounds (top): ";
     List.iter (fun (v, i) -> fprintf fmt "node %d: %d  " v i) r.idle;
@@ -174,4 +254,16 @@ let pp_report fmt r =
     List.iter
       (fun (src, dst, w, s) -> fprintf fmt "    %d -> %d: %d words over %d sends@," src dst w s)
       r.congested
+  end;
+  if r.pulses > 0 then begin
+    fprintf fmt
+      "  async pulses: %d (duration p50 %d, p99 %d, max %d vt)@," r.pulses
+      r.pulse_p50 r.pulse_p99 r.pulse_max;
+    if r.straggle_tail <> [] then begin
+      fprintf fmt "  straggler tail (top):@,";
+      List.iter
+        (fun (v, s, w) ->
+          fprintf fmt "    node %d: %d straggled pulse(s), worst pulse %d vt@," v s w)
+        r.straggle_tail
+    end
   end

@@ -11,6 +11,7 @@ type drop_reason =
   | Receiver_down  (* the copy reached a crashed node at delivery time *)
   | Severed  (* the link was cut by an active partition window *)
   | Garbled  (* corrupted copy discarded as undecodable (no corrupt hook) *)
+  | Straggler  (* the receiver cut the chronically late sender (deadline pacing) *)
 
 type t =
   | Run_start of { label : string; faulty : bool }
@@ -53,6 +54,18 @@ type t =
       from_round : int;
       heal_round : int option;
     }
+  | Pulse of { round : int; node : int; vt : int }
+  | Safe of { round : int; node : int; vt : int }
+  | Straggle of { round : int; node : int; factor : int; vt : int }
+  | Skew of { node : int; offset : int }
+  | Straggler_cut of { round : int; node : int; peer : int; vt : int }
+  | Straggle_window of {
+      node : int;
+      from_round : int;
+      until_round : int option;
+      factor : int;
+    }
+  | Timing of { link_latency : int; skew : int; seed : int }
 
 (* ------------------------------------------------------------------ *)
 (* JSONL serialization. Each event is one flat JSON object whose "e"
@@ -93,7 +106,8 @@ let to_json = function
         | Link -> "link"
         | Receiver_down -> "receiver"
         | Severed -> "severed"
-        | Garbled -> "garbled")
+        | Garbled -> "garbled"
+        | Straggler -> "straggler")
   | Duplicate { round; src; dst; copies } ->
       Printf.sprintf {|{"e":"duplicate","round":%d,"src":%d,"dst":%d,"copies":%d}|} round src
         dst copies
@@ -141,6 +155,26 @@ let to_json = function
         (String.concat "," (List.map string_of_int nodes))
         from_round
         (match heal_round with Some h -> h | None -> -1)
+  | Pulse { round; node; vt } ->
+      Printf.sprintf {|{"e":"pulse","round":%d,"node":%d,"vt":%d}|} round node vt
+  | Safe { round; node; vt } ->
+      Printf.sprintf {|{"e":"safe","round":%d,"node":%d,"vt":%d}|} round node vt
+  | Straggle { round; node; factor; vt } ->
+      Printf.sprintf {|{"e":"straggle","round":%d,"node":%d,"factor":%d,"vt":%d}|} round node
+        factor vt
+  | Skew { node; offset } ->
+      Printf.sprintf {|{"e":"skew","node":%d,"offset":%d}|} node offset
+  | Straggler_cut { round; node; peer; vt } ->
+      Printf.sprintf {|{"e":"straggler_cut","round":%d,"node":%d,"peer":%d,"vt":%d}|} round
+        node peer vt
+  | Straggle_window { node; from_round; until_round; factor } ->
+      Printf.sprintf {|{"e":"straggle_window","node":%d,"from":%d,"until":%d,"factor":%d}|}
+        node from_round
+        (match until_round with Some u -> u | None -> -1)
+        factor
+  | Timing { link_latency; skew; seed } ->
+      Printf.sprintf {|{"e":"timing","link_latency":%d,"skew":%d,"seed":%d}|} link_latency
+        skew seed
 
 (* ------------------------------------------------------------------ *)
 (* Parsing: a minimal scanner for the flat objects produced above
@@ -264,6 +298,7 @@ let of_json line =
             | "receiver" -> Receiver_down
             | "severed" -> Severed
             | "garbled" -> Garbled
+            | "straggler" -> Straggler
             | r -> fail (Printf.sprintf "unknown drop reason %S" r));
         }
   | "duplicate" ->
@@ -344,6 +379,24 @@ let of_json line =
           from_round = int "from";
           heal_round = (match int "heal" with -1 -> None | h -> Some h);
         }
+  | "pulse" -> Pulse { round = int "round"; node = int "node"; vt = int "vt" }
+  | "safe" -> Safe { round = int "round"; node = int "node"; vt = int "vt" }
+  | "straggle" ->
+      Straggle { round = int "round"; node = int "node"; factor = int "factor"; vt = int "vt" }
+  | "skew" -> Skew { node = int "node"; offset = int "offset" }
+  | "straggler_cut" ->
+      Straggler_cut
+        { round = int "round"; node = int "node"; peer = int "peer"; vt = int "vt" }
+  | "straggle_window" ->
+      Straggle_window
+        {
+          node = int "node";
+          from_round = int "from";
+          until_round = (match int "until" with -1 -> None | u -> Some u);
+          factor = int "factor";
+        }
+  | "timing" ->
+      Timing { link_latency = int "link_latency"; skew = int "skew"; seed = int "seed" }
   | e -> fail (Printf.sprintf "unknown event kind %S" e)
 
 let pp fmt e = Format.pp_print_string fmt (to_json e)

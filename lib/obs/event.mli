@@ -15,6 +15,9 @@ type drop_reason =
       (** the copy was corrupted in flight and the raw engine discarded
           it as undecodable (frame-level CRC semantics; layers with a
           corruption transform receive the garbled copy instead) *)
+  | Straggler
+      (** the receiver had cut the sender as a chronic straggler
+          (deadline-paced asynchronous mode) and discarded its copy *)
 
 type t =
   | Run_start of { label : string; faulty : bool }
@@ -79,6 +82,38 @@ type t =
       (** static description of an adversary partition window (one of
           [links]/[nodes] is empty, mirroring [Fault.cut]), emitted at
           [Run_start] time so replay can reconstruct the profile *)
+  | Pulse of { round : int; node : int; vt : int }
+      (** α-synchronizer: [node] began pulse [round] at virtual time
+          [vt] (asynchronous executor only; pulses coincide with the
+          engine's logical rounds) *)
+  | Safe of { round : int; node : int; vt : int }
+      (** α-synchronizer: every copy [node] sent in pulse [round] was
+          acknowledged by [vt]; its SAFE notification fans out to all
+          live neighbors *)
+  | Straggle of { round : int; node : int; factor : int; vt : int }
+      (** [node] executed pulse [round] under an active straggler
+          window: computation stretched by [factor] ([factor = 0]:
+          stalled forever — the pulse never completes) *)
+  | Skew of { node : int; offset : int }
+      (** [node]'s virtual clock starts [offset] units late (bounded
+          clock skew), emitted once per run *)
+  | Straggler_cut of { round : int; node : int; peer : int; vt : int }
+      (** deadline pacing: [node] stopped waiting for [peer]'s SAFE
+          after [peer] blew the pulse deadline [max_strikes] times in a
+          row; [peer]'s copies to [node] are dropped from here on *)
+  | Straggle_window of {
+      node : int;
+      from_round : int;
+      until_round : int option;
+      factor : int;
+    }
+      (** static description of an adversary straggler window, emitted
+          at [Run_start] time so replay can reconstruct the profile *)
+  | Timing of { link_latency : int; skew : int; seed : int }
+      (** static description of the profile's continuous timing
+          dimensions plus the timing seed; timing draws are pure hashes
+          of the seed, so this one event replays the entire
+          virtual-time schedule *)
 
 exception Parse_error of string
 

@@ -40,11 +40,22 @@ type partition_window = {
   heal_round : int option;
 }
 
+type straggle_window = {
+  s_node : int;
+  s_from_round : int;
+  s_until_round : int option;
+  s_factor : int;
+}
+
+type timing = { link_latency : int; skew : int; timing_seed : int }
+
 (* a copy's recorded fate: (extra delay rounds, corrupted in flight) *)
 type t = {
   schedules : (int * int * int, (int * bool) list) Hashtbl.t array;
   crashes : crash_window list;
   partitions : partition_window list;
+  stragglers : straggle_window list;
+  timing : timing option;
 }
 
 let of_events events =
@@ -59,10 +70,13 @@ let of_events events =
         | Send { round; src; dst; _ } -> Hashtbl.replace tbl (round, src, dst) []
         | Deliver { send_round; round; src; dst; _ }
         | Drop { send_round; round; src; dst; reason = Receiver_down; _ }
+        | Drop { send_round; round; src; dst; reason = Straggler; _ }
         | Drop { send_round; round; src; dst; reason = Garbled; _ } -> (
             (* one surviving copy, delivered [extra] rounds late
                (receiver-down and garbled copies survived the wire and
                still count; garbled ones are known corrupt already) *)
+            (* receiver-down, straggler-cut and garbled copies survived
+               the wire and still count as surviving fates *)
             let extra = round - send_round - 1 in
             let corrupt =
               match e with Drop { reason = Garbled; _ } -> true | _ -> false
@@ -135,9 +149,9 @@ let of_events events =
   let schedules = Array.of_list (List.map schedule_of_run faulty_runs) in
   (* crash/partition windows repeat identically in every faulty section
      (one adversary per CLI invocation); keep the first section's *)
-  let crashes, partitions =
+  let crashes, partitions, stragglers, timing =
     match faulty_runs with
-    | [] -> ([], [])
+    | [] -> ([], [], [], None)
     | first :: _ ->
         ( List.filter_map
             (fun (e : Event.t) ->
@@ -152,13 +166,35 @@ let of_events events =
               | Partition_window { links; nodes; from_round; heal_round } ->
                   Some { links; nodes; p_from_round = from_round; heal_round }
               | _ -> None)
+            first.events,
+          List.filter_map
+            (fun (e : Event.t) ->
+              match e with
+              | Straggle_window { node; from_round; until_round; factor } ->
+                  Some
+                    {
+                      s_node = node;
+                      s_from_round = from_round;
+                      s_until_round = until_round;
+                      s_factor = factor;
+                    }
+              | _ -> None)
+            first.events,
+          List.find_map
+            (fun (e : Event.t) ->
+              match e with
+              | Timing { link_latency; skew; seed } ->
+                  Some { link_latency; skew; timing_seed = seed }
+              | _ -> None)
             first.events )
   in
-  { schedules; crashes; partitions }
+  { schedules; crashes; partitions; stragglers; timing }
 
 let runs t = Array.length t.schedules
 let crashes t = t.crashes
 let partitions t = t.partitions
+let stragglers t = t.stragglers
+let timing t = t.timing
 
 let plan t ~run ~round ~src ~dst =
   if run < 0 || run >= Array.length t.schedules then

@@ -5,8 +5,8 @@
     same-direction messages per link per round), so a trace captures
     the complete delivery schedule. [of_events] rebuilds it: per
     faulty run, each recorded [Send] opens a fate; each [Deliver],
-    receiver-down [Drop] or garbled [Drop] adds one surviving copy's
-    extra delay; [Corrupt] events mark which copies were garbled in
+    receiver-down [Drop], straggler-cut [Drop] or garbled [Drop] adds
+    one surviving copy's extra delay; [Corrupt] events mark which copies were garbled in
     flight; an empty fate is a link drop. Partition windows are
     deterministic and re-applied by the engine itself, so severed
     sends have no recorded fate — {!partitions} reconstructs the
@@ -35,6 +35,18 @@ type partition_window = {
   heal_round : int option;
 }
 
+type straggle_window = {
+  s_node : int;
+  s_from_round : int;
+  s_until_round : int option;
+  s_factor : int;
+}
+
+(** Continuous timing dimensions plus the seed their pure-hash draws
+    key on — one [Timing] event replays the whole virtual-time
+    schedule. *)
+type timing = { link_latency : int; skew : int; timing_seed : int }
+
 type t
 
 val of_events : Event.t list -> t
@@ -50,6 +62,14 @@ val crashes : t -> crash_window list
 val partitions : t -> partition_window list
 (** Adversary partition windows, reconstructed from the first faulty
     run's [Partition_window] events (same repetition argument). *)
+
+val stragglers : t -> straggle_window list
+(** Adversary straggler windows, reconstructed from the first faulty
+    run's [Straggle_window] events. *)
+
+val timing : t -> timing option
+(** The recorded [Timing] event of the first faulty run, if the
+    profile had a timing dimension. *)
 
 val plan : t -> run:int -> round:int -> src:int -> dst:int -> (int * bool) list
 (** The recorded fate of the given send: per surviving copy, its extra

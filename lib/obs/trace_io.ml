@@ -101,7 +101,14 @@ let max_node r =
       | Partition_window { links; nodes; _ } ->
           let m = List.fold_left (fun m (a, b) -> max m (max a b)) m links in
           List.fold_left max m nodes
-      | Run_start _ | Round_start _ | Round_end _ -> m)
+      | Pulse { node; _ }
+      | Safe { node; _ }
+      | Straggle { node; _ }
+      | Skew { node; _ }
+      | Straggle_window { node; _ } ->
+          max m node
+      | Straggler_cut { node; peer; _ } -> max m (max node peer)
+      | Run_start _ | Round_start _ | Round_end _ | Timing _ -> m)
     (-1) r.events
 
 (* ------------------------------------------------------------- Chrome *)
@@ -180,9 +187,12 @@ let write_chrome ~path events =
                     | Link -> "link"
                     | Receiver_down -> "receiver-down"
                     | Severed -> "severed"
-                    | Garbled -> "garbled")
+                    | Garbled -> "garbled"
+                    | Straggler -> "straggler")
                     (ts round)
-                    (match reason with Receiver_down | Garbled -> dst | Link | Severed -> src)
+                    (match reason with
+                    | Receiver_down | Garbled | Straggler -> dst
+                    | Link | Severed -> src)
                     send_round
               | Duplicate { round; src; dst; copies } ->
                   obj
@@ -260,7 +270,41 @@ let write_chrome ~path events =
                     {|{"name":"partition","cat":"fault","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}|}
                     (ts from_round)
                     (max tick ((heal - from_round) * tick))
-                    rounds_tid)
+                    rounds_tid
+              (* synchronizer tracks: pulse begin / SAFE are instants on
+                 the node's own track, placed at the logical round but
+                 carrying the virtual time in args so Perfetto queries
+                 can plot straggler drift *)
+              | Pulse { round; node; vt } ->
+                  obj
+                    {|{"name":"pulse %d","cat":"sync","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"vt":%d}}|}
+                    round (ts round) node vt
+              | Safe { round; node; vt } ->
+                  obj
+                    {|{"name":"safe %d","cat":"sync","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"vt":%d}}|}
+                    round (ts round) node vt
+              | Straggle { round; node; factor; vt } ->
+                  obj
+                    {|{"name":"straggle x%d","cat":"fault","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"round":%d,"vt":%d}}|}
+                    factor (ts round) node round vt
+              | Skew { node; offset } ->
+                  obj
+                    {|{"name":"skew +%d","cat":"sync","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}|}
+                    offset (ts 0) node
+              | Straggler_cut { round; node; peer; vt } ->
+                  obj
+                    {|{"name":"cut straggler %d","cat":"sync","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"vt":%d}}|}
+                    peer (ts round) node vt
+              | Straggle_window { node; from_round; until_round; factor } ->
+                  let until =
+                    match until_round with Some u -> u | None -> run_max_round r + 1
+                  in
+                  obj
+                    {|{"name":"straggler (x%d)","cat":"fault","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}|}
+                    factor (ts from_round)
+                    (max tick ((until - from_round) * tick))
+                    node
+              | Timing _ -> ())
             r.events;
           base := !base + span + tick)
         runs;

@@ -1210,6 +1210,42 @@ let test_detector_latency_within_bound () =
             (reachable = Detector.oracle ~faults g ~root:0);
           check_bool "suspicions recorded" true (suspected <> []))
 
+let test_deadline_cuts_chronic_straggler () =
+  (* deadline-paced degraded mode, end to end: a permanently slowed
+     node holds its neighbors' pulse gates open until they strike it
+     out, the copies dropped on the cut links starve the heartbeat
+     detector into suspecting it, and the certified re-run excises
+     exactly the chronic straggler — no cascade onto healthy nodes *)
+  let g = Generators.k_tree ~seed:5 24 2 in
+  let saved = !Repro_congest.Async_engine.deadline in
+  Repro_congest.Async_engine.deadline := 4;
+  Fun.protect ~finally:(fun () -> Repro_congest.Async_engine.deadline := saved)
+  @@ fun () ->
+  let faults =
+    Fault.create ~seed:1
+      (Fault.profile ~stragglers:[ Fault.straggle 7 ~from:2 ~factor:40 ] ())
+  in
+  let m = Metrics.create () in
+  let t, v = Bfs_tree.build_certified ~faults g ~root:0 ~metrics:m in
+  check_bool "ran on the virtual clock" true (Metrics.pulses m > 0);
+  check_bool "straggles charged" true (Metrics.straggles m > 0);
+  let expected = Array.init (Digraph.n g) (fun v -> v <> 7) in
+  (match v with
+  | Detector.Complete -> Alcotest.fail "chronic straggler must yield Partial"
+  | Detector.Partial { reachable; suspected } ->
+      check_bool "exactly the straggler excised" true (reachable = expected);
+      check_bool "suspicions recorded" true (suspected <> []));
+  let pruned =
+    Array.to_list (Digraph.edges g)
+    |> List.filter (fun (e : Digraph.edge) -> e.src <> 7 && e.dst <> 7)
+    |> List.map (fun (e : Digraph.edge) -> (e.src, e.dst, e.weight, e.label))
+    |> Digraph.create_labeled ~directed:(Digraph.directed g) (Digraph.n g)
+  in
+  let want = Traversal.bfs_undirected pruned 0 in
+  Array.iteri
+    (fun i r -> if r then check_int (Printf.sprintf "dist %d" i) want.(i) t.Bfs_tree.dist.(i))
+    expected
+
 let test_spec_roundtrips () =
   let crash s =
     match Fault.parse_crash s with
@@ -1230,7 +1266,18 @@ let test_spec_roundtrips () =
         | Error e -> Alcotest.failf "reparse %S: %s" printed e
         | Ok p' -> check_bool (s ^ " round-trips") true (p = p'))
   in
-  List.iter partition [ "0-1:3"; "0-1,2-3:0:9"; "@4:2"; "@4,5,6:1:7"; "1-2:0" ]
+  List.iter partition [ "0-1:3"; "0-1,2-3:0:9"; "@4:2"; "@4,5,6:1:7"; "1-2:0" ];
+  let straggle s =
+    match Fault.parse_straggle s with
+    | Error e -> Alcotest.failf "parse_straggle %S: %s" s e
+    | Ok w -> (
+        let printed = Format.asprintf "%a" Fault.pp_straggle w in
+        match Fault.parse_straggle printed with
+        | Error e -> Alcotest.failf "reparse %S: %s" printed e
+        | Ok w' -> check_bool (s ^ " round-trips") true (w = w'))
+  in
+  (* permanent stall, bounded stall, permanent slowdown, bounded slowdown *)
+  List.iter straggle [ "7:3"; "7:3:12"; "5:2::4"; "5:2:9:6" ]
 
 let test_spec_errors_name_field_and_grammar () =
   let fails_with parse s frag =
@@ -1253,7 +1300,12 @@ let test_spec_errors_name_field_and_grammar () =
   fails_with Fault.parse_partition "0x1:4" "field 1";
   fails_with Fault.parse_partition "0x1:4" "malformed link";
   fails_with Fault.parse_partition "@a,2:4" "non-integer node";
-  fails_with Fault.parse_partition "0-1:2:x" "field 3"
+  fails_with Fault.parse_partition "0-1:2:x" "field 3";
+  fails_with Fault.parse_straggle "x:3" "field 1";
+  fails_with Fault.parse_straggle "x:3" "NODE:FROM";
+  fails_with Fault.parse_straggle "4" "field(s)";
+  fails_with Fault.parse_straggle "4:1:z" "field 3";
+  fails_with Fault.parse_straggle "4:2:9:fast" "field 4"
 
 (* post-heal exactness: a partition that fully heals, plus drop/dup/
    delay/corruption, must leave no trace — outputs byte-identical to
@@ -1358,6 +1410,8 @@ let () =
           Alcotest.test_case "detector fault-free complete" `Quick
             test_detector_complete_when_fault_free;
           Alcotest.test_case "detector latency bound" `Quick test_detector_latency_within_bound;
+          Alcotest.test_case "deadline cuts chronic straggler" `Quick
+            test_deadline_cuts_chronic_straggler;
           Alcotest.test_case "spec round-trips" `Quick test_spec_roundtrips;
           Alcotest.test_case "spec errors name the field" `Quick
             test_spec_errors_name_field_and_grammar;

@@ -13,6 +13,7 @@ module Recovery = Repro_congest.Recovery
 module Bfs_tree = Repro_congest.Bfs_tree
 module Bellman_ford = Repro_congest.Bellman_ford
 module Broadcast = Repro_congest.Broadcast
+module Async_engine = Repro_congest.Async_engine
 module Event = Repro_obs.Event
 module Sink = Repro_obs.Sink
 module Recorder = Repro_obs.Recorder
@@ -59,6 +60,26 @@ let sample_events : Event.t list =
     Crash_window { node = 7; from_round = 2; until_round = None; amnesia = false };
     Checkpoint { round = 4; node = 1; words = 17 };
     Recovery_resync { round = 10; node = 6 };
+    Partition { round = 2; src = 1; dst = 4 };
+    Heal { round = 6; src = 1; dst = 4 };
+    Corrupt { send_round = 2; deliver_round = 3; src = 1; dst = 2 };
+    Nack { round = 3; src = 2; dst = 1; seq = 5 };
+    Link_lost { round = 4; src = 2; dst = 1; seq = 5; retries = 3 };
+    Suspect { round = 5; node = 1; peer = 2 };
+    Clear { round = 6; node = 1; peer = 2 };
+    Partition_window { links = [ (1, 4) ]; nodes = []; from_round = 2; heal_round = Some 6 };
+    Partition_window { links = []; nodes = [ 3; 5 ]; from_round = 0; heal_round = None };
+    Drop { send_round = 2; round = 3; src = 4; dst = 5; words = 2; reason = Severed };
+    Drop { send_round = 2; round = 3; src = 4; dst = 5; words = 2; reason = Garbled };
+    Drop { send_round = 2; round = 3; src = 4; dst = 5; words = 2; reason = Straggler };
+    Pulse { round = 3; node = 2; vt = 17 };
+    Safe { round = 3; node = 2; vt = 21 };
+    Straggle { round = 3; node = 7; factor = 6; vt = 17 };
+    Skew { node = 4; offset = 3 };
+    Straggler_cut { round = 9; node = 2; peer = 7; vt = 140 };
+    Straggle_window { node = 7; from_round = 2; until_round = Some 9; factor = 6 };
+    Straggle_window { node = 8; from_round = 4; until_round = None; factor = 0 };
+    Timing { link_latency = 2; skew = 3; seed = 42 };
   ]
 
 let test_event_json_roundtrip () =
@@ -226,7 +247,20 @@ let scripted_of_trace events =
         Fault.partition ~from:w.p_from_round ?heal:w.heal_round cut)
       (Replay.partitions r)
   in
-  Fault.scripted ~crashes ~partitions (fun ~run ~round ~src ~dst ->
+  let stragglers =
+    List.map
+      (fun (w : Replay.straggle_window) ->
+        Fault.straggle w.s_node ~from:w.s_from_round ?until:w.s_until_round
+          ~factor:w.s_factor)
+      (Replay.stragglers r)
+  in
+  let link_latency, skew, timing_seed =
+    match Replay.timing r with
+    | Some (t : Replay.timing) -> (t.link_latency, t.skew, Some t.timing_seed)
+    | None -> (0, 0, None)
+  in
+  Fault.scripted ~crashes ~partitions ~stragglers ~link_latency ~skew ?timing_seed
+    (fun ~run ~round ~src ~dst ->
       List.map
         (fun (extra, corrupt) -> { Fault.extra; corrupt })
         (Replay.plan r ~run ~round ~src ~dst))
@@ -270,6 +304,132 @@ let prop_replay_determinism =
       in
       let replayed = execute (scripted_of_trace events) in
       recorded = replayed)
+
+(* run [f] on the asynchronous executor (forced, as --async does) *)
+let with_async f =
+  Async_engine.forced := true;
+  Fun.protect ~finally:(fun () -> Async_engine.forced := false) f
+
+let prop_async_exactness =
+  QCheck.Test.make
+    ~name:
+      "async under timing faults = sync, byte-for-byte outputs and core Metrics"
+    ~count:25
+    QCheck.(
+      quad (int_range 0 1000) (int_range 8 24) (int_range 0 30) (int_range 2 12))
+    (fun (seed, n, drop_pct, factor) ->
+      let g = Generators.partial_k_tree ~seed n 3 ~keep:0.6 in
+      let gw = Generators.random_weights ~seed ~max_weight:9 g in
+      (* the same message-fault profile both ways; the async run adds
+         the timing dimension on top (bounded stragglers, wire latency,
+         clock skew) — none of it may change what is computed or what
+         the message-level adversary is charged for *)
+      let base ?(stragglers = []) ?(link_latency = 0) ?(skew = 0) () =
+        Fault.profile
+          ~drop:(float_of_int drop_pct /. 100.0)
+          ~duplicate:0.15 ~max_delay:2
+          ~crashes:[ Fault.crash (seed mod n) ~from:3 ~until:10 ~mode:Fault.Amnesia ]
+          ~partitions:
+            [ Fault.partition ~from:2 ~heal:8 (Fault.Around [ (seed + 3) mod n ]) ]
+          ~stragglers ~link_latency ~skew ()
+      in
+      let execute ~async profile =
+        let run () =
+          let m = Metrics.create () in
+          let t = Bfs_tree.build ~faults:(Fault.create ~seed:(seed + 7) profile) g ~root:0 ~metrics:m in
+          let d =
+            Bellman_ford.run ~faults:(Fault.create ~seed:(seed + 8) profile) gw ~source:0 ~metrics:m
+          in
+          (t.Bfs_tree.dist, d, m)
+        in
+        if async then with_async run else run ()
+      in
+      let dist_s, d_s, m_s = execute ~async:false (base ()) in
+      let dist_a, d_a, m_a =
+        execute ~async:true
+          (base
+             ~stragglers:[ Fault.straggle (seed mod n) ~from:2 ~until:9 ~factor ]
+             ~link_latency:(seed mod 3) ~skew:(seed mod 5) ())
+      in
+      check_bool "bfs dist identical" true (dist_s = dist_a);
+      check_bool "sssp identical" true (d_s = d_a);
+      List.iter
+        (fun (label, f) -> check_int label (f m_s) (f m_a))
+        [
+          ("rounds", Metrics.rounds);
+          ("messages", Metrics.messages);
+          ("words", Metrics.words);
+          ("delivered", Metrics.delivered);
+          ("dropped", Metrics.dropped);
+          ("duplicated", Metrics.duplicated);
+          ("corrupted", Metrics.corrupted);
+        ];
+      check_int "sync run pulses no virtual clock" 0 (Metrics.pulses m_s);
+      check_bool "async run pulsed" true (Metrics.pulses m_a > 0);
+      true)
+
+let prop_async_replay_determinism =
+  QCheck.Test.make
+    ~name:"async record/replay reproduces outputs and Metrics byte-for-byte"
+    ~count:25
+    QCheck.(
+      quad (int_range 0 1000) (int_range 8 24) (int_range 0 30) (int_range 2 12))
+    (fun (seed, n, drop_pct, factor) ->
+      let g = Generators.partial_k_tree ~seed n 3 ~keep:0.6 in
+      let gw = Generators.random_weights ~seed ~max_weight:9 g in
+      (* every fault class at once, timing included: the trace alone
+         (message plans + straggle/timing windows) must rebuild the
+         whole adversary, virtual-time schedule and all *)
+      let profile =
+        Fault.profile
+          ~drop:(float_of_int drop_pct /. 100.0)
+          ~duplicate:0.2 ~max_delay:2 ~corrupt:0.12
+          ~crashes:[ Fault.crash (seed mod n) ~from:3 ~until:11 ~mode:Fault.Amnesia ]
+          ~partitions:
+            [ Fault.partition ~from:2 ~heal:9 (Fault.Around [ (seed + 3) mod n ]) ]
+          ~stragglers:
+            [
+              Fault.straggle (seed mod n) ~from:2 ~until:9 ~factor;
+              Fault.straggle ((seed + 5) mod n) ~from:4 ~until:8 ~factor:0;
+            ]
+          ~link_latency:(seed mod 3) ~skew:(seed mod 5) ()
+      in
+      let execute faults =
+        with_async (fun () ->
+            let m = Metrics.create () in
+            let t = Bfs_tree.build ~faults g ~root:0 ~metrics:m in
+            let d = Bellman_ford.run ~faults gw ~source:0 ~metrics:m in
+            (t.Bfs_tree.dist, d, Metrics.to_json m))
+      in
+      let recorded, events =
+        with_recorder (fun () -> execute (Fault.create ~seed:(seed + 9) profile))
+      in
+      let replayed = execute (scripted_of_trace events) in
+      recorded = replayed)
+
+let test_async_replay_divergence_raises () =
+  let g = Generators.k_tree ~seed:3 12 2 in
+  let profile =
+    Fault.profile ~drop:0.3
+      ~stragglers:[ Fault.straggle 5 ~from:2 ~until:8 ~factor:4 ]
+      ~link_latency:1 ()
+  in
+  let _, events =
+    with_recorder (fun () ->
+        with_async (fun () ->
+            let m = Metrics.create () in
+            Bfs_tree.build ~faults:(Fault.create ~seed:4 profile) ~reliable:true g
+              ~root:0 ~metrics:m))
+  in
+  let other = Generators.k_tree ~seed:99 16 3 in
+  match
+    with_async (fun () ->
+        let m = Metrics.create () in
+        Bfs_tree.build ~faults:(scripted_of_trace events) ~reliable:true other ~root:0
+          ~metrics:m)
+  with
+  | exception Replay.Divergence _ -> ()
+  | _ -> Alcotest.fail "expected Replay.Divergence on a mismatched async execution"
 
 let test_replay_divergence_raises () =
   (* replaying a trace against a different execution must fail loudly,
@@ -372,6 +532,13 @@ let () =
         [
           q prop_replay_determinism;
           Alcotest.test_case "divergence raises" `Quick test_replay_divergence_raises;
+        ] );
+      ( "async",
+        [
+          q prop_async_exactness;
+          q prop_async_replay_determinism;
+          Alcotest.test_case "async divergence raises" `Quick
+            test_async_replay_divergence_raises;
         ] );
       ( "critical path",
         [
