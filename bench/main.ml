@@ -37,6 +37,9 @@ module Girth = Repro_core.Girth
 module Engine = Repro_congest.Engine
 module Detector = Repro_congest.Detector
 module Async_engine = Repro_congest.Async_engine
+module Store = Repro_serve.Store
+module Query = Repro_serve.Query
+module Cache = Repro_serve.Cache
 
 let log2f x = log (float_of_int (max 2 x)) /. log 2.0
 
@@ -1058,6 +1061,192 @@ let eobs () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E-S1: label serving — store size vs the Theorem-2 bound and batch
+   query throughput with the hot-pair cache. Rows flush to
+   BENCH_serve.json (same shape as BENCH_faults.json) so CI can gate
+   on size ratios and warm-vs-cold throughput without scraping. *)
+
+let serve_rows : string list ref = ref []
+
+let serve_row ~scenario fields =
+  let all = ("experiment", "\"E-S1\"") :: ("scenario", Printf.sprintf "%S" scenario) :: fields in
+  serve_rows :=
+    Printf.sprintf "    {%s}"
+      (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) all))
+    :: !serve_rows
+
+let flush_serve_json () =
+  if !serve_rows <> [] then begin
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc "{\n  \"rows\": [\n";
+    output_string oc (String.concat ",\n" (List.rev !serve_rows));
+    output_string oc "\n  ]\n}\n";
+    close_out oc;
+    Printf.printf "\nwrote BENCH_serve.json (%d rows)\n" (List.length !serve_rows)
+  end
+
+let es1 () =
+  header "E-S1: label serving — store size and query throughput (Theorem 2 deployed)"
+    "binary store >= 4x smaller than the legacy text format on the E2b instances, \
+     bits/label tracking tau^2 log^2 n; warm hot-pair cache >= cold throughput";
+  let e2b_instance (family, n) =
+    let g =
+      match family with
+      | `Ptk -> Generators.bidirect ~seed:n ~max_weight:9 (ptk ~seed:n n 3)
+      | `Wheel -> Generators.wheel n
+    in
+    let report, _ = decompose_measured ~seed:2 g in
+    let labels = Dl.build g report.Build.decomposition ~metrics:(Metrics.create ()) in
+    let name = match family with `Ptk -> "partial 3-tree" | `Wheel -> "heavy wheel" in
+    (name, n, g, labels)
+  in
+  let built =
+    List.map e2b_instance
+      [ (`Ptk, 128); (`Ptk, 256); (`Ptk, 512); (`Wheel, 128); (`Wheel, 256); (`Wheel, 512) ]
+  in
+  table_header
+    [
+      cell 14 "family"; cell 5 "n"; cell 4 "tau"; cell 9 "store B"; cell 9 "text B";
+      cell 6 "ratio"; cell 11 "bits/label"; cell 13 "t^2lg^2n bits";
+    ];
+  List.iter
+    (fun (name, n, g, labels) ->
+      let bin = Filename.temp_file "bench_serve" ".bin" in
+      let txt = Filename.temp_file "bench_serve" ".txt" in
+      Store.save bin labels;
+      Dl.save_text txt labels;
+      let bin_size = Store.byte_size (Store.open_ bin) in
+      let txt_size =
+        let ic = open_in_bin txt in
+        let s = in_channel_length ic in
+        close_in ic;
+        s
+      in
+      Sys.remove bin;
+      Sys.remove txt;
+      let tau = Heuristic.degeneracy g in
+      let ratio = float_of_int txt_size /. float_of_int bin_size in
+      let bits_per_label = 8.0 *. float_of_int bin_size /. float_of_int n in
+      let bound = float_of_int (tau * tau) *. log2f n *. log2f n in
+      serve_row
+        ~scenario:(Printf.sprintf "%s n=%d size" name n)
+        [
+          ("n", string_of_int n);
+          ("tau", string_of_int tau);
+          ("store_bytes", string_of_int bin_size);
+          ("text_bytes", string_of_int txt_size);
+          ("text_over_store", Printf.sprintf "%.2f" ratio);
+          ("bits_per_label", Printf.sprintf "%.1f" bits_per_label);
+          ("bound_bits", Printf.sprintf "%.0f" bound);
+        ];
+      Printf.printf "   %s | %s | %s | %s | %s | %s | %s | %s\n" (cell 14 name)
+        (cell 5 (string_of_int n))
+        (cell 4 (string_of_int tau))
+        (cell 9 (string_of_int bin_size))
+        (cell 9 (string_of_int txt_size))
+        (cell 6 (Printf.sprintf "%.2fx" ratio))
+        (cell 11 (Printf.sprintf "%.1f" bits_per_label))
+        (cell 13 (Printf.sprintf "%.0f" bound)))
+    built;
+  (* throughput: a 10^5-query stream per instance, 80% drawn from a
+     64-pair hot set (what the LRU is for), cold = cache disabled vs
+     warm = 4096-entry cache pre-warmed by one pass. Latency
+     percentiles are over 64-query batches — single queries sit at the
+     clock's resolution. *)
+  Printf.printf "\n";
+  table_header
+    [
+      cell 14 "family"; cell 5 "n"; cell 5 "mode"; cell 10 "queries/s"; cell 9 "p50 us/q";
+      cell 9 "p99 us/q"; cell 8 "hits"; cell 8 "misses";
+    ];
+  let n_queries = 100_000 in
+  let make_queries n cdl rng =
+    let hot =
+      Array.init 64 (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+    in
+    Array.init n_queries (fun _ ->
+        let u, v =
+          if Random.State.int rng 100 < 80 then hot.(Random.State.int rng 64)
+          else (Random.State.int rng n, Random.State.int rng n)
+        in
+        match cdl with
+        | Some q_size when Random.State.bool rng ->
+            Query.Cdl { u; v; q = Random.State.int rng q_size }
+        | _ -> Query.Dist { u; v })
+  in
+  let run_stream src queries cache =
+    let nq = Array.length queries in
+    let nbatches = (nq + 63) / 64 in
+    let lat = Array.make nbatches 0.0 in
+    let t0 = Unix.gettimeofday () in
+    for b = 0 to nbatches - 1 do
+      let lo = b * 64 and hi = min nq ((b + 1) * 64) in
+      let bt = Unix.gettimeofday () in
+      for i = lo to hi - 1 do
+        ignore (Query.answer ~cache src queries.(i))
+      done;
+      lat.(b) <- (Unix.gettimeofday () -. bt) *. 1e6 /. float_of_int (hi - lo)
+    done;
+    let total = Unix.gettimeofday () -. t0 in
+    Array.sort compare lat;
+    (float_of_int nq /. total, lat.(nbatches / 2), lat.(nbatches * 99 / 100))
+  in
+  let throughput (name, n, _, labels) ~cdl =
+    let bin = Filename.temp_file "bench_serve" ".bin" in
+    (match cdl with
+    | Some (spec, cdl_labels) ->
+        Store.save bin labels ~cdl:(spec.Stateful.q_size, spec.Stateful.start, cdl_labels)
+    | None -> Store.save bin labels);
+    let st = Store.open_ bin in
+    let src = Query.of_store st in
+    let rng = Random.State.make [| n; 0x51 |] in
+    let queries =
+      make_queries n (Option.map (fun (s, _) -> s.Stateful.q_size) cdl) rng
+    in
+    let arms =
+      [ ("cold", Cache.create 0); ("warm", Cache.create 4096) ]
+    in
+    List.iter
+      (fun (mode, cache) ->
+        if Cache.capacity cache > 0 then begin
+          (* warm the cache with one untimed pass, then zero counters *)
+          Array.iter (fun q -> ignore (Query.answer ~cache src q)) queries;
+          Cache.flush cache (Metrics.create ())
+        end;
+        let qps, p50, p99 = run_stream src queries cache in
+        serve_row
+          ~scenario:(Printf.sprintf "%s n=%d %s" name n mode)
+          [
+            ("n", string_of_int n);
+            ("queries", string_of_int n_queries);
+            ("cdl_mix", string_of_bool (cdl <> None));
+            ("qps", Printf.sprintf "%.0f" qps);
+            ("p50_us", Printf.sprintf "%.3f" p50);
+            ("p99_us", Printf.sprintf "%.3f" p99);
+            ("cache_hits", string_of_int (Cache.hits cache));
+            ("cache_misses", string_of_int (Cache.misses cache));
+            ("cache_evictions", string_of_int (Cache.evictions cache));
+          ];
+        Printf.printf "   %s | %s | %s | %s | %s | %s | %s | %s\n" (cell 14 name)
+          (cell 5 (string_of_int n))
+          (cell 5 mode)
+          (cell 10 (Printf.sprintf "%.0f" qps))
+          (cell 9 (Printf.sprintf "%.3f" p50))
+          (cell 9 (Printf.sprintf "%.3f" p99))
+          (cell 8 (string_of_int (Cache.hits cache)))
+          (cell 8 (string_of_int (Cache.misses cache))))
+      arms;
+    Sys.remove bin
+  in
+  List.iter (fun inst -> throughput inst ~cdl:None) built;
+  (* one mixed DIST+CDL instance: hash-colored edges, count:1 constraint *)
+  let name, n, g, labels = e2b_instance (`Ptk, 128) in
+  let g = Digraph.with_labels g (fun e -> Hashtbl.hash (e.Digraph.id, 0x5e3) mod 2) in
+  let spec = Stateful.count ~limit:1 in
+  let c = Cdl.build ~seed:2 g spec ~metrics:(Metrics.create ()) in
+  throughput (name ^ " +cdl", n, g, labels) ~cdl:(Some (spec, Cdl.labels c))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1065,6 +1254,7 @@ let experiments =
     ("E5a", e5a); ("E5b", e5b); ("E6a", e6a); ("E6b", e6b); ("E6c", e6c); ("E6d", e6d);
     ("E7", e7); ("E8", e8); ("EF1", ef1); ("EF2", ef2); ("EF3", ef3); ("EF4", ef4);
     ("EObs", eobs);
+    ("ES1", es1);
     ("micro", micro);
   ]
 
@@ -1084,4 +1274,5 @@ let () =
     "reproduction experiment harness (rounds are simulated CONGEST rounds)\n";
   List.iter (fun (_, f) -> f ()) selected;
   flush_fault_json ();
+  flush_serve_json ();
   Printf.printf "\nAll experiments completed.\n"

@@ -18,6 +18,9 @@ type t = {
   mutable safe_messages : int;
   mutable straggles : int;
   mutable virtual_time : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
   per_label : (string, int ref) Hashtbl.t;
 }
 
@@ -42,6 +45,9 @@ let create () =
     safe_messages = 0;
     straggles = 0;
     virtual_time = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
     per_label = Hashtbl.create 16;
   }
 
@@ -69,6 +75,9 @@ let add_resync_rounds t k = t.resync_rounds <- t.resync_rounds + k [@@hot]
 let add_pulses t k = t.pulses <- t.pulses + k [@@hot]
 let add_safe_messages t k = t.safe_messages <- t.safe_messages + k [@@hot]
 let add_straggles t k = t.straggles <- t.straggles + k [@@hot]
+let add_cache_hits t k = t.cache_hits <- t.cache_hits + k [@@hot]
+let add_cache_misses t k = t.cache_misses <- t.cache_misses + k [@@hot]
+let add_cache_evictions t k = t.cache_evictions <- t.cache_evictions + k [@@hot]
 
 (* the virtual-time makespan is a high-water mark, not a sum *)
 let observe_virtual_time t vt = if vt > t.virtual_time then t.virtual_time <- vt [@@hot]
@@ -91,6 +100,9 @@ let pulses t = t.pulses
 let safe_messages t = t.safe_messages
 let straggles t = t.straggles
 let virtual_time t = t.virtual_time
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+let cache_evictions t = t.cache_evictions
 
 let breakdown t =
   Det_tbl.bindings t.per_label ~compare:String.compare
@@ -118,6 +130,9 @@ let merge ~into src =
   into.safe_messages <- into.safe_messages + src.safe_messages;
   into.straggles <- into.straggles + src.straggles;
   if src.virtual_time > into.virtual_time then into.virtual_time <- src.virtual_time;
+  into.cache_hits <- into.cache_hits + src.cache_hits;
+  into.cache_misses <- into.cache_misses + src.cache_misses;
+  into.cache_evictions <- into.cache_evictions + src.cache_evictions;
   Det_tbl.iter_sorted src.per_label ~compare:String.compare (fun label r ->
       add into ~label !r)
 
@@ -141,10 +156,10 @@ let to_json ?name t =
   | Some n -> Printf.bprintf buf {|"name":"%s",|} (json_escape n)
   | None -> ());
   Printf.bprintf buf
-    {|"rounds":%d,"messages":%d,"words":%d,"delivered":%d,"dropped":%d,"duplicated":%d,"retransmissions":%d,"corrupted":%d,"rejected":%d,"suspicions":%d,"link_failures":%d,"checkpoints":%d,"checkpoint_words":%d,"recoveries":%d,"resync_rounds":%d,"pulses":%d,"safe_messages":%d,"straggles":%d,"virtual_time":%d,"labels":{|}
+    {|"rounds":%d,"messages":%d,"words":%d,"delivered":%d,"dropped":%d,"duplicated":%d,"retransmissions":%d,"corrupted":%d,"rejected":%d,"suspicions":%d,"link_failures":%d,"checkpoints":%d,"checkpoint_words":%d,"recoveries":%d,"resync_rounds":%d,"pulses":%d,"safe_messages":%d,"straggles":%d,"virtual_time":%d,"cache_hits":%d,"cache_misses":%d,"cache_evictions":%d,"labels":{|}
     t.rounds t.messages t.words t.delivered t.dropped t.duplicated t.retransmissions
     t.corrupted t.rejected t.suspicions t.link_failures t.checkpoints t.checkpoint_words t.recoveries t.resync_rounds
-    t.pulses t.safe_messages t.straggles t.virtual_time;
+    t.pulses t.safe_messages t.straggles t.virtual_time t.cache_hits t.cache_misses t.cache_evictions;
   List.iteri
     (fun i (l, r) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -169,5 +184,8 @@ let pp fmt t =
   if t.pulses > 0 then
     Format.fprintf fmt " pulses=%d safe_messages=%d straggles=%d virtual_time=%d"
       t.pulses t.safe_messages t.straggles t.virtual_time;
+  if t.cache_hits > 0 || t.cache_misses > 0 then
+    Format.fprintf fmt " cache_hits=%d cache_misses=%d cache_evictions=%d" t.cache_hits
+      t.cache_misses t.cache_evictions;
   List.iter (fun (l, r) -> Format.fprintf fmt "@,  %-24s %d" l r) (breakdown t);
   Format.fprintf fmt "@]"

@@ -104,6 +104,18 @@ val add_straggles : t -> int -> unit
     {!merge} takes the max across runs). *)
 val observe_virtual_time : t -> int -> unit
 
+(** [add_cache_hits t k] records [k] hot-pair cache hits in the label
+    server (lib/serve). *)
+val add_cache_hits : t -> int -> unit
+
+(** [add_cache_misses t k] records [k] hot-pair cache misses (each one
+    is a full label decode). *)
+val add_cache_misses : t -> int -> unit
+
+(** [add_cache_evictions t k] records [k] LRU evictions from the
+    hot-pair cache. *)
+val add_cache_evictions : t -> int -> unit
+
 val rounds : t -> int
 val messages : t -> int
 val words : t -> int
@@ -123,6 +135,9 @@ val pulses : t -> int
 val safe_messages : t -> int
 val straggles : t -> int
 val virtual_time : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int
+val cache_evictions : t -> int
 
 (** [breakdown t] lists [(label, rounds)] aggregated per label,
     sorted by decreasing rounds. *)

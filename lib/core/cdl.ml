@@ -22,6 +22,7 @@ let build ?dec ?(seed = 0) g spec ~metrics =
   { product; labels }
 
 let product t = t.product
+let labels t = t.labels
 
 let sdec t ~q ~src ~dst =
   let s = Product.encode t.product src t.product.Product.spec.Stateful.start in

@@ -22,6 +22,12 @@ val build :
 
 val product : t -> Product.t
 
+(** [labels t] is the flat array of product-vertex labels, indexed by
+    the product encoding [(v, q) = v * q_size + q] ({!Product.encode}) —
+    what a label-serving store persists; {!sdec} is [Labeling.decode]
+    over this array. *)
+val labels : t -> Labeling.t array
+
 (** [sdec t ~q ~src ~dst] decodes the shortest C(q)-walk length from the
     labels only. *)
 val sdec : t -> q:int -> src:int -> dst:int -> int

@@ -33,6 +33,17 @@ let decode la_u la_v =
   !best
 
 let size_words t = 3 * Hashtbl.length t.entries
+let entry_count t = Hashtbl.length t.entries
+
+let equal a b =
+  a.owner = b.owner
+  && Hashtbl.length a.entries = Hashtbl.length b.entries
+  && List.for_all
+       (fun anchor ->
+         match (Hashtbl.find_opt a.entries anchor, Hashtbl.find_opt b.entries anchor) with
+         | Some (dt, df), Some (dt', df') -> dt = dt' && df = df'
+         | _ -> false)
+       (anchors a)
 
 let pp fmt t =
   Format.fprintf fmt "la(%d): %d anchors" t.owner (Hashtbl.length t.entries)

@@ -1,0 +1,35 @@
+(** Bounded hot-pair LRU cache for the query engine (DESIGN §3h).
+
+    Int keys, int values, fixed capacity, intrusive doubly-linked list
+    over preallocated arrays — the serve hot loop does one {!find} per
+    query and must not allocate. Counters accumulate locally and are
+    pushed to {!Repro_congest.Metrics} by {!flush}. *)
+
+type t
+
+(** [create capacity] — [capacity = 0] disables the cache ({!find}
+    always misses, {!add} is a no-op): the "cold" arm of BENCH_serve. *)
+val create : int -> t
+
+val capacity : t -> int
+val length : t -> int
+
+(** Returned by {!find} on a miss. Values must not equal [absent]
+    ([min_int]) — distances and [Digraph.inf] never do. *)
+val absent : int
+
+(** [find t key] is the cached value promoted to most-recent, or
+    {!absent}; counts one hit or miss. *)
+val find : t -> int -> int
+
+(** [add t key value] inserts or refreshes most-recent; evicts the
+    least-recent entry when full. *)
+val add : t -> int -> int -> unit
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+(** [flush t m] moves the three counters into [m] (adds, then zeroes
+    the local ones). *)
+val flush : t -> Repro_congest.Metrics.t -> unit

@@ -1,0 +1,164 @@
+module Labeling = Repro_core.Labeling
+module Digraph = Repro_graph.Digraph
+
+let inf = Digraph.inf
+
+(* Width of the field that stores another field's width. *)
+let width_bits = 6
+
+let write_anchors w anchors =
+  let k = Array.length anchors in
+  Bitio.put_varint w k;
+  if k > 0 then begin
+    Bitio.put_varint w anchors.(0);
+    if k > 1 then begin
+      let max_gap = ref 1 in
+      for i = 1 to k - 1 do
+        let g = anchors.(i) - anchors.(i - 1) in
+        if g <= 0 then invalid_arg "Codec.write_anchors: not strictly increasing";
+        if g > !max_gap then max_gap := g
+      done;
+      let wa = Bitio.bits_needed (!max_gap - 1) in
+      Bitio.put w ~bits:width_bits wa;
+      for i = 1 to k - 1 do
+        Bitio.put w ~bits:wa (anchors.(i) - anchors.(i - 1) - 1)
+      done
+    end
+  end
+
+let read_anchors r =
+  let k = Bitio.get_varint r in
+  if k = 0 then [||]
+  else begin
+    let out = Array.make k 0 in
+    out.(0) <- Bitio.get_varint r;
+    if k > 1 then begin
+      let wa = Bitio.get r ~bits:width_bits in
+      for i = 1 to k - 1 do
+        out.(i) <- out.(i - 1) + 1 + Bitio.get r ~bits:wa
+      done
+    end;
+    out
+  end
+
+let encode_anchors anchors =
+  let w = Bitio.writer () in
+  write_anchors w anchors;
+  Bitio.contents w
+
+let decode_anchors s = read_anchors (Bitio.reader s)
+
+let zigzag v = if v >= 0 then 2 * v else (-2 * v) - 1
+let unzigzag z = if z land 1 = 0 then z lsr 1 else -((z + 1) lsr 1)
+
+(* Any distance at or past [inf] means unreachable; the decoder
+   restores exactly [Digraph.inf]. *)
+let clamp d = if d >= inf then inf else d
+
+let field_width what m =
+  let w = Bitio.bits_needed (m + 1) in
+  if w > 30 then invalid_arg (Printf.sprintf "Codec.write_body: %s field needs %d bits" what w);
+  w
+
+let write_body ?owner_hint w ~anchors la =
+  (match owner_hint with
+  | Some h when Labeling.owner la = h -> Bitio.put w ~bits:1 1
+  | _ ->
+      Bitio.put w ~bits:1 0;
+      Bitio.put_varint w (Labeling.owner la));
+  let k = Array.length anchors in
+  if k > 0 then begin
+    let f1 = Array.make k (-1) and f2 = Array.make k (-1) in
+    let max1 = ref 0 and max2 = ref 0 and sym = ref true in
+    for i = 0 to k - 1 do
+      let a = anchors.(i) in
+      let d_to =
+        match Labeling.dist_to la a with
+        | Some d -> clamp d
+        | None -> invalid_arg "Codec.write_body: anchor absent from label"
+      in
+      let d_from = match Labeling.dist_from la a with Some d -> clamp d | None -> inf in
+      if d_from <> d_to then sym := false;
+      if d_to < inf then begin
+        f1.(i) <- d_to;
+        if d_to > !max1 then max1 := d_to
+      end;
+      if d_from < inf then begin
+        let v2 = if d_to < inf then zigzag (d_from - d_to) else d_from in
+        f2.(i) <- v2;
+        if v2 > !max2 then max2 := v2
+      end
+    done;
+    let w1 = field_width "d_to" !max1 in
+    let s1 = (1 lsl w1) - 1 in
+    Bitio.put w ~bits:width_bits w1;
+    Bitio.put w ~bits:1 (if !sym then 1 else 0);
+    if !sym then
+      for i = 0 to k - 1 do
+        Bitio.put w ~bits:w1 (if f1.(i) < 0 then s1 else f1.(i))
+      done
+    else begin
+      let w2 = field_width "residual" !max2 in
+      let s2 = (1 lsl w2) - 1 in
+      Bitio.put w ~bits:width_bits w2;
+      for i = 0 to k - 1 do
+        Bitio.put w ~bits:w1 (if f1.(i) < 0 then s1 else f1.(i));
+        Bitio.put w ~bits:w2 (if f2.(i) < 0 then s2 else f2.(i))
+      done
+    end
+  end
+
+let read_body ?owner_hint r ~anchors =
+  let owner =
+    if Bitio.get r ~bits:1 = 1 then
+      match owner_hint with
+      | Some h -> h
+      | None -> invalid_arg "Codec.read_body: owner-hint bit set but no hint supplied"
+    else Bitio.get_varint r
+  in
+  let la = Labeling.create owner in
+  let k = Array.length anchors in
+  if k > 0 then begin
+    let w1 = Bitio.get r ~bits:width_bits in
+    let s1 = (1 lsl w1) - 1 in
+    if Bitio.get r ~bits:1 = 1 then
+      for i = 0 to k - 1 do
+        let v1 = Bitio.get r ~bits:w1 in
+        let d = if v1 = s1 then inf else v1 in
+        Labeling.set la ~anchor:anchors.(i) ~d_to:d ~d_from:d
+      done
+    else begin
+      let w2 = Bitio.get r ~bits:width_bits in
+      let s2 = (1 lsl w2) - 1 in
+      for i = 0 to k - 1 do
+        let v1 = Bitio.get r ~bits:w1 in
+        let v2 = Bitio.get r ~bits:w2 in
+        let d_to = if v1 = s1 then inf else v1 in
+        let d_from =
+          if v2 = s2 then inf else if d_to < inf then d_to + unzigzag v2 else v2
+        in
+        Labeling.set la ~anchor:anchors.(i) ~d_to ~d_from
+      done
+    end
+  end;
+  la
+
+let write w la =
+  let anchors = Array.of_list (Labeling.anchors la) in
+  write_anchors w anchors;
+  write_body w ~anchors la
+
+let encode la =
+  let w = Bitio.writer () in
+  write w la;
+  Bitio.contents w
+
+let decode s =
+  let r = Bitio.reader s in
+  let anchors = read_anchors r in
+  read_body r ~anchors
+
+let encoded_bits la =
+  let w = Bitio.writer () in
+  write w la;
+  Bitio.bit_length w

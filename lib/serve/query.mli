@@ -1,0 +1,55 @@
+(** Query engine: answers DIST / CDL queries from labels alone
+    (DESIGN §3h).
+
+    A {!source} abstracts where labels come from — the binary
+    {!Store.t} or the legacy text format ({!Repro_core.Dl.load_text}) —
+    so the server is format-agnostic. Soundness rests on the labels,
+    not the serving layer: a label array produced by the certified
+    pipeline answers every query exactly (Theorem 2 / Theorem 3), and
+    the store's checksums guarantee the served labels are the ones that
+    were certified. *)
+
+type cdl_source = {
+  q_size : int;
+  start : int;  (** the constraint DFA's start state *)
+  label : int -> Repro_core.Labeling.t;  (** product index [(v, q) = v * q_size + q] *)
+}
+
+type source = {
+  n : int;
+  dist : int -> Repro_core.Labeling.t;
+  cdl : cdl_source option;
+}
+
+val of_store : Store.t -> source
+
+(** [of_text labels] wraps a legacy text-format label array (distance
+    labels only — the text format predates CDL serving). *)
+val of_text : Repro_core.Labeling.t array -> source
+
+(** {1 Queries} *)
+
+type t =
+  | Dist of { u : int; v : int }
+  | Cdl of { u : int; v : int; q : int }  (** walk ends in state [q] *)
+
+(** [parse source line] parses ["DIST u v"] or ["CDL u v q"]
+    (whitespace-separated, ops case-sensitive). Errors name the bad
+    field, e.g. [DIST: v: expected an int, got "x"]. *)
+val parse : source -> string -> (t, string) result
+
+(** [key source q] is the query's injective int encoding — the cache
+    key: [u * n + v] for DIST, [n^2 + (u * n + v) * q_size + q] for
+    CDL. *)
+val key : source -> t -> int
+
+(** [answer ?cache source q] decodes the exact distance
+    ([Digraph.inf] when unreachable), consulting and filling the
+    hot-pair cache when given.
+    @raise Invalid_argument on a CDL query against a source without
+    CDL labels ({!parse} already rejects those). *)
+val answer : ?cache:Cache.t -> source -> t -> int
+
+(** [print_answer d] is ["inf"] for unreachable, else the decimal
+    distance — one output line per query. *)
+val print_answer : int -> string

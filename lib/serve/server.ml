@@ -1,0 +1,22 @@
+type stats = { answered : int; errors : int }
+
+let run ?cache ?(flush_each = true) src input output =
+  let answered = ref 0 and errors = ref 0 in
+  (try
+     while true do
+       let line = input_line input in
+       if String.trim line <> "" then begin
+         (match Query.parse src line with
+         | Ok q ->
+             output_string output (Query.print_answer (Query.answer ?cache src q));
+             incr answered
+         | Error msg ->
+             output_string output ("ERR " ^ msg);
+             incr errors);
+         output_char output '\n';
+         if flush_each then flush output
+       end
+     done
+   with End_of_file -> ());
+  flush output;
+  { answered = !answered; errors = !errors }

@@ -1,0 +1,17 @@
+(** Batch/stream query server (DESIGN §3h).
+
+    Newline-delimited protocol on channels: one query per input line
+    (["DIST u v"] / ["CDL u v q"]), one output line per query — the
+    distance, ["inf"], or ["ERR <field-naming message>"] for a
+    malformed line (the server keeps going; the error is counted, not
+    fatal). Batch mode is the same loop over a file channel. *)
+
+type stats = { answered : int; errors : int }
+
+(** [run ?cache src input output] serves until EOF on [input]. With
+    [flush_each:true] (default — required for interactive stream use)
+    every answer line is flushed as written; batch callers may pass
+    [false] and flush once. Cache counters stay in [cache]; push them
+    to Metrics with {!Cache.flush} afterwards. *)
+val run :
+  ?cache:Cache.t -> ?flush_each:bool -> Query.source -> in_channel -> out_channel -> stats

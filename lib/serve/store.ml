@@ -1,0 +1,277 @@
+module Labeling = Repro_core.Labeling
+
+type error =
+  | Format_error of string
+  | Checksum_mismatch of { what : string; index : int }
+
+exception Error of error
+
+let pp_error fmt = function
+  | Format_error msg -> Format.fprintf fmt "store format error: %s" msg
+  | Checksum_mismatch { what; index } ->
+      Format.fprintf fmt "store checksum mismatch: %s %d" what index
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Format.asprintf "Store.Error(%a)" pp_error e)
+    | _ -> None)
+
+let err e = raise (Error e)
+let fmt_err f = Printf.ksprintf (fun m -> err (Format_error m)) f
+
+let magic = "RSRVLB01"
+
+(* Structural checksum, the transport-integrity idiom: [Hashtbl.hash]
+   mixes every byte of a string (strings hash in full, unlike nested
+   structures which are cut off at the meaningful-word limit). *)
+let crc s = Hashtbl.hash s
+
+let u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Store: u32 field overflow";
+  Buffer.add_int32_le buf (Int32.of_int v)
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let add_section buf ~shard_size labels =
+  let count = Array.length labels in
+  let anchors_of =
+    Array.map (fun la -> Array.of_list (Labeling.anchors la)) labels
+  in
+  (* anchor-set pool: keyed by the encoded block so identical sets —
+     one per sibling group sharing B^up — are stored once. All blocks
+     share one unpadded bitstream, decoded sequentially. *)
+  let pool_ids = Hashtbl.create (max 16 count) in
+  let pool_w = Bitio.writer () in
+  let npools = ref 0 in
+  let pool_of =
+    Array.map
+      (fun anchors ->
+        let key = Codec.encode_anchors anchors in
+        match Hashtbl.find_opt pool_ids key with
+        | Some id -> id
+        | None ->
+            let id = !npools in
+            incr npools;
+            Hashtbl.add pool_ids key id;
+            Codec.write_anchors pool_w anchors;
+            id)
+      anchors_of
+  in
+  let pool_data = Bitio.contents pool_w in
+  (* records are grouped into shards, each one unpadded bitstream with
+     a single offset + checksum — per-record directories cost more
+     bytes than the bit-packed records they point at *)
+  let nshards = (count + shard_size - 1) / shard_size in
+  let shards =
+    Array.init nshards (fun s ->
+        let w = Bitio.writer () in
+        let lo = s * shard_size and hi = min count ((s + 1) * shard_size) in
+        for i = lo to hi - 1 do
+          Bitio.put_varint w pool_of.(i);
+          Codec.write_body ~owner_hint:i w ~anchors:anchors_of.(i) labels.(i)
+        done;
+        Bitio.contents w)
+  in
+  u32 buf count;
+  u32 buf shard_size;
+  u32 buf !npools;
+  u32 buf (String.length pool_data);
+  u32 buf (crc pool_data);
+  Buffer.add_string buf pool_data;
+  let off = ref 0 in
+  Array.iter
+    (fun sh ->
+      u32 buf !off;
+      off := !off + String.length sh)
+    shards;
+  u32 buf !off;
+  Array.iter (fun sh -> u32 buf (crc sh)) shards;
+  Array.iter (Buffer.add_string buf) shards
+
+let save ?(shard_size = 64) ?cdl path dist =
+  if shard_size <= 0 then invalid_arg "Store.save: shard_size must be positive";
+  (match cdl with
+  | Some (q_size, start, labels) ->
+      if q_size <= 0 then invalid_arg "Store.save: q_size must be positive";
+      if start < 0 || start >= q_size then invalid_arg "Store.save: start state out of range";
+      if Array.length labels <> Array.length dist * q_size then
+        invalid_arg "Store.save: cdl labels must have n * q_size entries"
+  | None -> ());
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  u32 buf (match cdl with Some _ -> 1 | None -> 0);
+  u32 buf (Array.length dist);
+  u32 buf (match cdl with Some (q, _, _) -> q | None -> 0);
+  u32 buf (match cdl with Some (_, s, _) -> s | None -> 0);
+  add_section buf ~shard_size dist;
+  (match cdl with
+  | Some (_, _, labels) -> add_section buf ~shard_size labels
+  | None -> ());
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+type section = {
+  count : int;
+  shard_size : int;
+  npools : int;
+  pool_pos : int;  (* raw pool bitstream, decoded once on first use *)
+  pool_len : int;
+  pool_crc : int;
+  shard_off : int array;  (* nshards + 1 offsets, relative to rec_base *)
+  shard_crc : int array;
+  rec_base : int;
+  mutable pools : int array array option;
+  shards : Labeling.t array option array;  (* decoded shards, cached *)
+}
+
+type t = {
+  data : string;
+  s_n : int;
+  s_q : int;
+  s_start : int;
+  dist : section;
+  cdl : section option;
+}
+
+let ru32 data pos =
+  if pos < 0 || pos + 4 > String.length data then
+    fmt_err "truncated: u32 at byte %d past end (%d bytes)" pos (String.length data);
+  Int32.to_int (String.get_int32_le data pos) land 0xFFFFFFFF
+
+let read_section data pos0 =
+  let pos = ref pos0 in
+  let next () =
+    let v = ru32 data !pos in
+    pos := !pos + 4;
+    v
+  in
+  let count = next () in
+  let shard_size = next () in
+  if shard_size <= 0 then fmt_err "section at %d: shard_size %d" pos0 shard_size;
+  let npools = next () in
+  let pool_len = next () in
+  let pool_crc = next () in
+  let pool_pos = !pos in
+  pos := !pos + pool_len;
+  let nshards = (count + shard_size - 1) / shard_size in
+  let shard_off = Array.make (nshards + 1) 0 in
+  for s = 0 to nshards do
+    shard_off.(s) <- next ()
+  done;
+  let shard_crc = Array.init nshards (fun _ -> next ()) in
+  let rec_base = !pos in
+  pos := !pos + shard_off.(nshards);
+  if !pos > String.length data then
+    fmt_err "section at %d: records run past end of file" pos0;
+  ( {
+      count;
+      shard_size;
+      npools;
+      pool_pos;
+      pool_len;
+      pool_crc;
+      shard_off;
+      shard_crc;
+      rec_base;
+      pools = None;
+      shards = Array.make nshards None;
+    },
+    !pos )
+
+let open_ path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let ml = String.length magic in
+  if String.length data < ml + 16 then fmt_err "file too short for header";
+  if not (String.equal (String.sub data 0 ml) magic) then
+    fmt_err "bad magic (not a label store, or an unsupported version)";
+  let flags = ru32 data ml in
+  let s_n = ru32 data (ml + 4) in
+  let s_q = ru32 data (ml + 8) in
+  let s_start = ru32 data (ml + 12) in
+  let has_cdl = flags land 1 <> 0 in
+  let dist, pos = read_section data (ml + 16) in
+  if dist.count <> s_n then
+    fmt_err "distance section has %d records, header says n=%d" dist.count s_n;
+  let cdl =
+    if not has_cdl then None
+    else begin
+      let sec, pos' = read_section data pos in
+      if pos' > String.length data then fmt_err "cdl section runs past end of file";
+      if sec.count <> s_n * s_q then
+        fmt_err "cdl section has %d records, expected n*q_size=%d" sec.count (s_n * s_q);
+      Some sec
+    end
+  in
+  { data; s_n; s_q; s_start; dist; cdl }
+
+let n t = t.s_n
+let has_cdl t = Option.is_some t.cdl
+let q_size t = if Option.is_some t.cdl then t.s_q else 0
+let start_state t = if Option.is_some t.cdl then t.s_start else 0
+let cdl_count t = match t.cdl with Some s -> s.count | None -> 0
+let byte_size t = String.length t.data
+let pool_count t = t.dist.npools
+
+let pools t sec =
+  match sec.pools with
+  | Some p -> p
+  | None ->
+      if sec.pool_pos + sec.pool_len > String.length t.data then
+        fmt_err "pool data runs past end of file";
+      let s = String.sub t.data sec.pool_pos sec.pool_len in
+      if crc s <> sec.pool_crc then err (Checksum_mismatch { what = "pool"; index = 0 });
+      let r = Bitio.reader s in
+      let p =
+        try Array.init sec.npools (fun _ -> Codec.read_anchors r)
+        with Bitio.Truncated -> fmt_err "pool data is truncated"
+      in
+      sec.pools <- Some p;
+      p
+
+let load_shard t sec s =
+  let lo = sec.shard_off.(s) and hi = sec.shard_off.(s + 1) in
+  if lo > hi || sec.rec_base + hi > String.length t.data then
+    fmt_err "shard %d has inverted or out-of-range offsets" s;
+  let bytes = String.sub t.data (sec.rec_base + lo) (hi - lo) in
+  if crc bytes <> sec.shard_crc.(s) then
+    err (Checksum_mismatch { what = "shard"; index = s });
+  let p = pools t sec in
+  let base = s * sec.shard_size in
+  let k = min sec.shard_size (sec.count - base) in
+  let r = Bitio.reader bytes in
+  let arr =
+    try
+      Array.init k (fun j ->
+          let pool_id = Bitio.get_varint r in
+          if pool_id < 0 || pool_id >= Array.length p then
+            fmt_err "record %d references pool %d of %d" (base + j) pool_id
+              (Array.length p);
+          Codec.read_body ~owner_hint:(base + j) r ~anchors:p.(pool_id))
+    with Bitio.Truncated -> fmt_err "shard %d is truncated" s
+  in
+  sec.shards.(s) <- Some arr;
+  arr
+
+let get_label t sec i =
+  if i < 0 || i >= sec.count then fmt_err "record index %d out of range [0,%d)" i sec.count;
+  let s = i / sec.shard_size in
+  let arr = match sec.shards.(s) with Some a -> a | None -> load_shard t sec s in
+  arr.(i - (s * sec.shard_size))
+
+let dist_label t v = get_label t t.dist v
+
+let cdl_label t i =
+  match t.cdl with
+  | Some sec -> get_label t sec i
+  | None -> err (Format_error "store has no CDL section")
