@@ -19,6 +19,7 @@ let write_anchors w anchors =
         if g > !max_gap then max_gap := g
       done;
       let wa = Bitio.bits_needed (!max_gap - 1) in
+      if wa > 30 then invalid_arg "Codec.write_anchors: gap width exceeds 30 bits";
       Bitio.put w ~bits:width_bits wa;
       for i = 1 to k - 1 do
         Bitio.put w ~bits:wa (anchors.(i) - anchors.(i - 1) - 1)
@@ -34,6 +35,7 @@ let read_anchors r =
     out.(0) <- Bitio.get_varint r;
     if k > 1 then begin
       let wa = Bitio.get r ~bits:width_bits in
+      if wa > 30 then invalid_arg "Codec.read_anchors: corrupt width field";
       for i = 1 to k - 1 do
         out.(i) <- out.(i - 1) + 1 + Bitio.get r ~bits:wa
       done
@@ -120,6 +122,7 @@ let read_body ?owner_hint r ~anchors =
   let k = Array.length anchors in
   if k > 0 then begin
     let w1 = Bitio.get r ~bits:width_bits in
+    if w1 > 30 then invalid_arg "Codec.read_body: corrupt width field";
     let s1 = (1 lsl w1) - 1 in
     if Bitio.get r ~bits:1 = 1 then
       for i = 0 to k - 1 do
@@ -129,6 +132,7 @@ let read_body ?owner_hint r ~anchors =
       done
     else begin
       let w2 = Bitio.get r ~bits:width_bits in
+      if w2 > 30 then invalid_arg "Codec.read_body: corrupt width field";
       let s2 = (1 lsl w2) - 1 in
       for i = 0 to k - 1 do
         let v1 = Bitio.get r ~bits:w1 in

@@ -1,0 +1,9 @@
+(* Seeded undercharge: the message carries two words of content but the
+   words function charges one, so the runtime word counters undercount
+   CONGEST bandwidth. *)
+
+module Msg = struct
+  type t = int * int
+
+  let words _ = 1
+end

@@ -1,0 +1,8 @@
+(* The clean twin: the charge matches the two-word static content
+   bound. *)
+
+module Msg = struct
+  type t = int * int
+
+  let words _ = 2
+end

@@ -1,0 +1,12 @@
+(* Seeded asymmetry: the writer emits an 8-bit field then a 16-bit
+   field, but the reader consumes two 8-bit fields. Values are masked so
+   only the codec-mismatch rule fires. *)
+
+let write_rec w a b =
+  Bitio.put w ~bits:8 (a land 255);
+  Bitio.put w ~bits:16 (b land 65535)
+
+let read_rec r =
+  let a = Bitio.get r ~bits:8 in
+  let b = Bitio.get r ~bits:8 in
+  (a, b)

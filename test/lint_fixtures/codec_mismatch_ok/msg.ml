@@ -1,0 +1,24 @@
+(* The clean twin: field order and widths agree, including a dynamic
+   width the writer stores in a 6-bit header field and the reader
+   recovers from the same field. *)
+
+let write_rec w a b =
+  Bitio.put w ~bits:8 (a land 255);
+  Bitio.put w ~bits:16 (b land 65535)
+
+let read_rec r =
+  let a = Bitio.get r ~bits:8 in
+  let b = Bitio.get r ~bits:16 in
+  (a, b)
+
+let write_dyn w v =
+  if v < 0 then invalid_arg "neg";
+  let n = Bitio.bits_needed v in
+  if n > 30 then invalid_arg "too wide";
+  Bitio.put w ~bits:6 n;
+  Bitio.put w ~bits:n (v land ((1 lsl n) - 1))
+
+let read_dyn r =
+  let n = Bitio.get r ~bits:6 in
+  if n > 30 then invalid_arg "corrupt width";
+  Bitio.get r ~bits:n

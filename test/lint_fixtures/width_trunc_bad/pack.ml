@@ -1,0 +1,9 @@
+(* Seeded width bugs: the negative-only guard still lets values above
+   2^4 - 1 reach a 4-bit field (width-trunc), and an unconstrained
+   parameter used as ~bits can leave [0, 30] (width-range). *)
+
+let write_bad w v =
+  if v < 0 then invalid_arg "neg";
+  Bitio.put w ~bits:4 v
+
+let width_of_param w n = Bitio.put w ~bits:n 1

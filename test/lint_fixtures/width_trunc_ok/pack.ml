@@ -1,0 +1,11 @@
+(* The clean twin: a two-sided diverging guard pins the value into the
+   4-bit field, and the dynamic width is both range-guarded and applied
+   to a value masked to exactly that width. *)
+
+let write_ok w v =
+  if v < 0 || v > 15 then invalid_arg "out of field";
+  Bitio.put w ~bits:4 v
+
+let write_masked w n v =
+  if n < 1 || n > 30 then invalid_arg "bad width";
+  Bitio.put w ~bits:n (v land ((1 lsl n) - 1))

@@ -10,6 +10,8 @@ module Cg = Repro_lint.Callgraph
 module Effects = Repro_lint.Effects
 module Domains = Repro_lint.Domains
 module Alloc = Repro_lint.Alloc
+module Widths = Repro_lint.Widths
+module Bandwidth = Repro_lint.Bandwidth
 
 let () = Repro_congest.Engine.audit_enabled := true
 
@@ -509,6 +511,221 @@ let test_domain_alloc_fixture_corpus () =
   check_bool "hot_alloc_ok clean" false (List.mem "hot-alloc" (full "hot_alloc_ok"))
 
 (* ------------------------------------------------------------------ *)
+(* Width-soundness pass: intervals, guards, codec symmetry *)
+
+let parsed_of sources =
+  List.map
+    (fun (file, src) ->
+      match Lint.parse_source ~file src with
+      | Ok s -> (file, s)
+      | Error msg -> Alcotest.failf "fixture %s did not parse: %s" file msg)
+    sources
+
+let widths_findings sources = Widths.findings (cg_of sources)
+
+let test_widths_truncation () =
+  (* a one-sided guard leaves the top of the range open *)
+  let fs =
+    widths_findings
+      [
+        ( "fx/pack.ml",
+          "let write_bad w v =\n\
+          \  if v < 0 then invalid_arg \"neg\";\n\
+          \  Bitio.put w ~bits:4 v" );
+      ]
+  in
+  check_bool "width-trunc fires" true (has_finding "width-trunc" "may not fit" fs);
+  (* the finding prints the data-flow chain, not just the endpoint *)
+  check_bool "data-flow chain printed" true (has_finding "width-trunc" "data-flow:" fs);
+  let clean =
+    widths_findings
+      [
+        ( "fx/pack.ml",
+          "let write_ok w v =\n\
+          \  if v < 0 || v > 15 then invalid_arg \"range\";\n\
+          \  Bitio.put w ~bits:4 v" );
+      ]
+  in
+  check_int "two-sided guard discharges" 0 (List.length clean)
+
+let test_widths_range () =
+  let fs = widths_findings [ ("fx/pack.ml", "let f w n = Bitio.put w ~bits:n 1") ] in
+  check_bool "width-range fires" true (has_finding "width-range" "may leave [0, 30]" fs);
+  let clean =
+    widths_findings
+      [
+        ( "fx/pack.ml",
+          "let f w n v =\n\
+          \  if n < 1 || n > 30 then invalid_arg \"width\";\n\
+          \  Bitio.put w ~bits:n (v land ((1 lsl n) - 1))" );
+      ]
+  in
+  check_int "guard plus mask is clean" 0 (List.length clean)
+
+let widths_pair_src ~reader_bits =
+  [
+    ( "fx/msg.ml",
+      Printf.sprintf
+        "let write_rec w a b =\n\
+        \  Bitio.put w ~bits:8 (a land 255);\n\
+        \  Bitio.put w ~bits:16 (b land 65535)\n\
+         let read_rec r =\n\
+        \  let a = Bitio.get r ~bits:8 in\n\
+        \  let b = Bitio.get r ~bits:%d in\n\
+        \  (a, b)"
+        reader_bits );
+  ]
+
+let test_widths_symmetry () =
+  let report sources = Widths.analyze (cg_of sources) in
+  (match Widths.pairs (report (widths_pair_src ~reader_bits:16)) with
+  | [ (w, r, ok) ] ->
+      Alcotest.(check string) "writer" "Msg.write_rec" w;
+      Alcotest.(check string) "reader" "Msg.read_rec" r;
+      check_bool "pair certified symmetric" true ok
+  | ps -> Alcotest.failf "expected one pair, got %d" (List.length ps));
+  let fs = Widths.findings_of_report (report (widths_pair_src ~reader_bits:8)) in
+  check_bool "codec-mismatch fires" true (has_finding "codec-mismatch" "disagree" fs);
+  (* both canonical traces are printed so the diff is actionable *)
+  check_bool "traces printed" true (has_finding "codec-mismatch" "writer trace" fs)
+
+let test_widths_dynamic_width_pair () =
+  (* the width itself rides in a 6-bit header field: the writer's
+     bits_needed certificate and the reader's recovered slot must match *)
+  let fs =
+    widths_findings
+      [
+        ( "fx/msg.ml",
+          "let write_dyn w v =\n\
+          \  if v < 0 then invalid_arg \"neg\";\n\
+          \  let n = Bitio.bits_needed v in\n\
+          \  if n > 30 then invalid_arg \"wide\";\n\
+          \  Bitio.put w ~bits:6 n;\n\
+          \  Bitio.put w ~bits:n (v land ((1 lsl n) - 1))\n\
+           let read_dyn r =\n\
+          \  let n = Bitio.get r ~bits:6 in\n\
+          \  if n > 30 then invalid_arg \"corrupt\";\n\
+          \  Bitio.get r ~bits:n" );
+      ]
+  in
+  check_int "dynamic-width pair is clean" 0 (List.length fs)
+
+let test_widths_json_report () =
+  let json = Widths.to_json (Widths.analyze (cg_of (widths_pair_src ~reader_bits:16))) in
+  let contains needle =
+    let n = String.length needle in
+    let rec at i = i + n <= String.length json && (String.sub json i n = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "schema stamped" true (contains "repro-lint/widths/1");
+  check_bool "pair present" true (contains "Msg.write_rec");
+  check_bool "symmetry rendered" true (contains "\"symmetric\": true")
+
+let test_widths_fixture_corpus () =
+  let rules_in name =
+    List.map (fun (f : Lint.finding) -> f.Lint.rule) (widths_findings (fixture_dir name))
+  in
+  check_bool "width_trunc_bad flagged" true (List.mem "width-trunc" (rules_in "width_trunc_bad"));
+  check_bool "width_trunc_bad range flagged" true
+    (List.mem "width-range" (rules_in "width_trunc_bad"));
+  check_int "width_trunc_ok clean" 0 (List.length (rules_in "width_trunc_ok"));
+  check_bool "codec_mismatch_bad flagged" true
+    (List.mem "codec-mismatch" (rules_in "codec_mismatch_bad"));
+  check_int "codec_mismatch_ok clean" 0 (List.length (rules_in "codec_mismatch_ok"))
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth-soundness pass: verdicts and charge-site certification *)
+
+let bandwidth_report sources =
+  let parsed = parsed_of sources in
+  Bandwidth.analyze (Cg.build parsed) parsed
+
+let test_bandwidth_verdicts () =
+  let r =
+    bandwidth_report
+      [ ("fx/algo.ml", "module Msg = struct type t = int * int let words _ = 2 end") ]
+  in
+  (match r.Bandwidth.b_verdicts with
+  | [ v ] ->
+      Alcotest.(check string) "name" "Algo.Msg" v.Bandwidth.v_name;
+      Alcotest.(check string) "kind" "algorithm" v.Bandwidth.v_kind;
+      Alcotest.(check string) "content" "2" v.Bandwidth.v_content;
+      check_bool "passes" true v.Bandwidth.v_ok
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs));
+  check_bool "all pass" true r.Bandwidth.b_all_pass
+
+let test_bandwidth_undercharge () =
+  let fs =
+    Bandwidth.findings_of_report
+      (bandwidth_report
+         [ ("fx/algo.ml", "module Msg = struct type t = int * int let words _ = 1 end") ])
+  in
+  check_bool "undercharge flagged" true (has_finding "bandwidth-sound" "may undercharge" fs)
+
+let test_bandwidth_wrapper () =
+  let r =
+    bandwidth_report
+      [
+        ( "fx/wrap.ml",
+          "module Wrap (M : sig type t val words : t -> int end) = struct\n\
+          \  module X = struct\n\
+          \    type t = Data of M.t | Beat\n\
+          \    let words = function Beat -> 1 | Data m -> 1 + M.words m\n\
+          \  end\n\
+           end" );
+      ]
+  in
+  match r.Bandwidth.b_verdicts with
+  | [ v ] ->
+      Alcotest.(check string) "kind" "wrapper" v.Bandwidth.v_kind;
+      Alcotest.(check string) "content" "payload" v.Bandwidth.v_content;
+      check_bool "wrapper passes" true v.Bandwidth.v_ok
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
+
+let test_bandwidth_charge_site () =
+  (* the rule is scoped to lib/: per-message accounting lives there *)
+  let bad =
+    Bandwidth.findings_of_report
+      (bandwidth_report
+         [ ("lib/fx/charge.ml", "let run m snap = Metrics.add_words m (Array.length snap)") ])
+  in
+  check_bool "unannotated charge flagged" true
+    (has_finding "bandwidth-charge" "not annotated [@@charge_site]" bad);
+  let ok =
+    bandwidth_report
+      [
+        ( "lib/fx/charge.ml",
+          "let run m snap = Metrics.add_words m (Array.length snap) [@@charge_site]" );
+      ]
+  in
+  check_int "annotated charge clean" 0 (List.length ok.Bandwidth.b_findings);
+  check_int "site certified" 1 ok.Bandwidth.b_charge_sites
+
+let test_bandwidth_json_report () =
+  let json =
+    Bandwidth.to_json
+      (bandwidth_report
+         [ ("fx/algo.ml", "module Msg = struct type t = int let words _ = 1 end") ])
+  in
+  let contains needle =
+    let n = String.length needle in
+    let rec at i = i + n <= String.length json && (String.sub json i n = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "schema stamped" true (contains "repro-lint/bandwidth/1");
+  check_bool "gate rendered" true (contains "\"all_pass\": true");
+  check_bool "verdict present" true (contains "Algo.Msg")
+
+let test_bandwidth_fixture_corpus () =
+  let rules_in name =
+    List.map
+      (fun (f : Lint.finding) -> f.Lint.rule)
+      (Bandwidth.findings_of_report (bandwidth_report (fixture_dir name)))
+  in
+  check_bool "bandwidth_bad flagged" true (List.mem "bandwidth-sound" (rules_in "bandwidth_bad"));
+  check_int "bandwidth_ok clean" 0 (List.length (rules_in "bandwidth_ok"))
+
+(* ------------------------------------------------------------------ *)
 (* Baseline workflow *)
 
 let two_aborts = "let f () = failwith \"a\"\nlet g () = failwith \"b\""
@@ -700,5 +917,23 @@ let () =
           Alcotest.test_case "unmarked exempt" `Quick test_alloc_unmarked_functions_are_exempt;
           Alcotest.test_case "json report" `Quick test_alloc_json_report;
           Alcotest.test_case "fixture corpus" `Quick test_domain_alloc_fixture_corpus;
+        ] );
+      ( "widths",
+        [
+          Alcotest.test_case "truncation" `Quick test_widths_truncation;
+          Alcotest.test_case "width range" `Quick test_widths_range;
+          Alcotest.test_case "codec symmetry" `Quick test_widths_symmetry;
+          Alcotest.test_case "dynamic width pair" `Quick test_widths_dynamic_width_pair;
+          Alcotest.test_case "json report" `Quick test_widths_json_report;
+          Alcotest.test_case "fixture corpus" `Quick test_widths_fixture_corpus;
+        ] );
+      ( "bandwidth",
+        [
+          Alcotest.test_case "verdicts" `Quick test_bandwidth_verdicts;
+          Alcotest.test_case "undercharge" `Quick test_bandwidth_undercharge;
+          Alcotest.test_case "wrapper" `Quick test_bandwidth_wrapper;
+          Alcotest.test_case "charge site" `Quick test_bandwidth_charge_site;
+          Alcotest.test_case "json report" `Quick test_bandwidth_json_report;
+          Alcotest.test_case "fixture corpus" `Quick test_bandwidth_fixture_corpus;
         ] );
     ]

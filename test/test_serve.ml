@@ -47,6 +47,53 @@ let test_bitio_fields () =
        false
      with Bitio.Truncated -> true)
 
+let test_bitio_boundaries () =
+  (* widest legal field, all ones *)
+  let top = (1 lsl 30) - 1 in
+  let w = Bitio.writer () in
+  Bitio.put w ~bits:30 top;
+  Bitio.put w ~bits:30 0;
+  Bitio.put_varint w max_int;
+  let r = Bitio.reader (Bitio.contents w) in
+  check_int "30-bit all-ones" top (Bitio.get r ~bits:30);
+  check_int "30-bit zero" 0 (Bitio.get r ~bits:30);
+  check_int "varint max_int" max_int (Bitio.get_varint r);
+  (* a 31-bit width is out of contract on both sides *)
+  check_bool "put rejects 31 bits" true
+    (try
+       Bitio.put (Bitio.writer ()) ~bits:31 0;
+       false
+     with Invalid_argument _ -> true);
+  check_bool "put rejects oversized value" true
+    (try
+       Bitio.put (Bitio.writer ()) ~bits:4 16;
+       false
+     with Invalid_argument _ -> true)
+
+let test_bitio_unaligned_contents () =
+  (* 3 + 7 + 11 = 21 bits: contents must flush the partial last byte *)
+  let w = Bitio.writer () in
+  Bitio.put w ~bits:3 5;
+  Bitio.put w ~bits:7 99;
+  Bitio.put w ~bits:11 1_234;
+  let s = Bitio.contents w in
+  check_int "21 bits pack into 3 bytes" 3 (String.length s);
+  let r = Bitio.reader s in
+  check_int "3-bit field" 5 (Bitio.get r ~bits:3);
+  check_int "7-bit field" 99 (Bitio.get r ~bits:7);
+  check_int "11-bit field" 1_234 (Bitio.get r ~bits:11)
+
+let test_codec_zigzag_extremes () =
+  (* the asymmetry delta d_from - d_to rides a zigzag field; push it to
+     the widest value the 30-bit field contract admits, both signs *)
+  let big = (1 lsl 29) - 1 in
+  let la = Labeling.create 0 in
+  Labeling.set la ~anchor:1 ~d_to:0 ~d_from:big;
+  Labeling.set la ~anchor:2 ~d_to:big ~d_from:0;
+  Labeling.set la ~anchor:3 ~d_to:big ~d_from:big;
+  check_bool "zigzag extremes roundtrip" true
+    (Labeling.equal la (Codec.decode (Codec.encode la)))
+
 let prop_bitio_roundtrip =
   QCheck.Test.make ~name:"bitio field sequences roundtrip" ~count:200
     QCheck.(small_list (pair (int_range 1 24) small_nat))
@@ -452,9 +499,16 @@ let () =
   Alcotest.run "repro_serve"
     [
       ( "bitio",
-        [ Alcotest.test_case "fields and varints" `Quick test_bitio_fields ] );
+        [
+          Alcotest.test_case "fields and varints" `Quick test_bitio_fields;
+          Alcotest.test_case "boundary widths and varint max" `Quick test_bitio_boundaries;
+          Alcotest.test_case "unaligned contents" `Quick test_bitio_unaligned_contents;
+        ] );
       ( "codec",
-        [ Alcotest.test_case "inf sentinels, empty label" `Quick test_codec_inf_and_empty ] );
+        [
+          Alcotest.test_case "inf sentinels, empty label" `Quick test_codec_inf_and_empty;
+          Alcotest.test_case "zigzag extremes" `Quick test_codec_zigzag_extremes;
+        ] );
       ( "text format",
         [
           Alcotest.test_case "roundtrip via Dl.save_text" `Quick test_text_store_roundtrip;

@@ -83,6 +83,8 @@ let non_allocating =
     "Bytes.get"; "Bytes.set"; "Bytes.length"; "Bytes.unsafe_get"; "Bytes.unsafe_set";
     "Bytes.fill"; "Bytes.blit";
     "String.length"; "String.get"; "String.unsafe_get"; "String.equal"; "String.compare";
+    "Char.code"; "Char.chr"; "Char.unsafe_chr"; "Char.equal"; "Char.compare";
+    "int_of_char"; "char_of_int"; "lnot";
     "Hashtbl.mem"; "Hashtbl.remove"; "Hashtbl.hash"; "Hashtbl.clear"; "Hashtbl.reset";
     "Hashtbl.length"; "Hashtbl.find";
     "Queue.is_empty"; "Queue.pop"; "Queue.take"; "Queue.peek"; "Queue.clear";

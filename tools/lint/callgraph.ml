@@ -68,6 +68,7 @@ type binding = {
   mutable_kind : string option;  (* "atomic" | "ref" | "hashtbl" | ... when mutable *)
   is_hot : bool;  (* carries a [@@hot] attribute: allocation-discipline obligation *)
   is_region : bool;  (* carries [@@parallel_region]: a Domains-parallelizable root *)
+  is_charge_site : bool;  (* carries [@@charge_site]: audited accounting entry point *)
   calls : sym list;  (* resolved in-repo references, sorted, deduplicated *)
   externals : string list;  (* unresolved qualified refs + effectful bare idents *)
   mutates : sym list;  (* resolved references in mutation position *)
@@ -120,6 +121,7 @@ type raw_binding = {
   rb_mutable_kind : string option;
   rb_hot : bool;
   rb_region : bool;
+  rb_charge : bool;
   rb_refs : string list list ref;
   rb_muts : string list list ref;
   mutable rb_assert_false : bool;
@@ -425,6 +427,7 @@ let rec walk_structure ~file ~prefix ~as_callbacks ~bindings ~aliases ~callbacks
                       rb_mutable_kind = mutable_kind_of_rhs vb.pvb_expr;
                       rb_hot = has_attr "hot" vb.pvb_attributes;
                       rb_region = has_attr "parallel_region" vb.pvb_attributes;
+                      rb_charge = has_attr "charge_site" vb.pvb_attributes;
                       rb_refs = ref [];
                       rb_muts = ref [];
                       rb_assert_false = false;
@@ -692,6 +695,7 @@ let build parsed =
               mutable_kind = rb.rb_mutable_kind;
               is_hot = rb.rb_hot;
               is_region = rb.rb_region;
+              is_charge_site = rb.rb_charge;
               calls;
               externals;
               mutates;

@@ -45,6 +45,10 @@ type binding = {
   is_region : bool;
       (** carries [@@parallel_region]: a root the Domains refactor runs
           concurrently (engine round loop, transport fast path) *)
+  is_charge_site : bool;
+      (** carries [@@charge_site]: an audited entry point of the message/
+          storage accounting path, allowed to call [Metrics.add_words] /
+          [add_checkpoint_words] (certified by the bandwidth pass) *)
   calls : sym list;  (** resolved in-repo references, sorted, deduplicated *)
   externals : string list;
       (** unresolved qualified references (dotted), plus effectful bare

@@ -1,7 +1,8 @@
 (* CLI driver for the model-compliance lint:
 
      lint [--format text|json] [--baseline FILE] [--no-interproc]
-          [--effects-out FILE] [--domains-out FILE] [--alloc-out FILE]
+          [--only PASS] [--effects-out FILE] [--domains-out FILE]
+          [--alloc-out FILE] [--widths-out FILE] [--bandwidth-out FILE]
           [--bench-out FILE] [--update-baseline] <file-or-dir>...
 
    Directories are walked recursively for [.ml] files (in sorted order,
@@ -9,16 +10,21 @@
    once; the single-file rules run per file and, unless
    [--no-interproc] is given, the whole file set feeds the
    interprocedural passes (symbol/call graph -> effect summaries ->
-   node-locality / send-discipline -> domain-safety -> hot-alloc).
-   [--effects-out]/[--domains-out]/[--alloc-out] additionally dump the
-   corresponding JSON reports; [--bench-out] writes a BENCH_lint.json
-   timing row (whole-repo certifier wall-clock) so analysis cost is
-   tracked alongside the fault benches. [--update-baseline] rewrites
-   the baseline file in place from the current findings instead of
-   reporting them. A baseline entry still marked "TODO justify" fails
-   the build. Exits 0 when clean, 1 on findings, stale baseline
-   entries, or unjustified entries, 2 on usage/parse errors or
-   nonexistent paths. *)
+   node-locality / send-discipline -> domain-safety -> hot-alloc ->
+   widths -> bandwidth). [--only PASS] runs exactly one of
+   rules/interproc/domains/alloc/widths/bandwidth (unknown pass names
+   are a usage error, exit 2); baseline entries for the other passes
+   are set aside rather than reported stale.
+   [--effects-out]/[--domains-out]/[--alloc-out]/[--widths-out]/
+   [--bandwidth-out] additionally dump the corresponding JSON reports;
+   [--bench-out] writes BENCH_lint.json timing rows (whole-repo
+   certifier wall-clock, plus per-pass rows for the widths and
+   bandwidth certifiers) so analysis cost is tracked alongside the
+   fault benches. [--update-baseline] rewrites the baseline file in
+   place from the current findings instead of reporting them. A
+   baseline entry still marked "TODO justify" fails the build. Exits 0
+   when clean, 1 on findings, stale baseline entries, or unjustified
+   entries, 2 on usage/parse errors or nonexistent paths. *)
 
 module Lint_core = Repro_lint.Lint_core
 module Interproc = Repro_lint.Interproc
@@ -26,11 +32,28 @@ module Effects = Repro_lint.Effects
 module Callgraph = Repro_lint.Callgraph
 module Domains = Repro_lint.Domains
 module Alloc = Repro_lint.Alloc
+module Widths = Repro_lint.Widths
+module Bandwidth = Repro_lint.Bandwidth
 
 let usage =
-  "lint [--format text|json] [--baseline FILE] [--no-interproc] [--effects-out FILE] \
-   [--domains-out FILE] [--alloc-out FILE] [--bench-out FILE] [--update-baseline] \
-   <file-or-dir>..."
+  "lint [--format text|json] [--baseline FILE] [--no-interproc] [--only PASS] \
+   [--effects-out FILE] [--domains-out FILE] [--alloc-out FILE] [--widths-out FILE] \
+   [--bandwidth-out FILE] [--bench-out FILE] [--update-baseline] <file-or-dir>..."
+
+let passes = [ "rules"; "interproc"; "domains"; "alloc"; "widths"; "bandwidth" ]
+
+(* the rule ids each pass owns, for scoping the baseline under --only *)
+let pass_rules = function
+  | "rules" ->
+      List.filter
+        (fun id -> not (List.mem id Lint_core.interproc_rule_ids))
+        Lint_core.rule_ids
+  | "interproc" -> [ "node-locality"; "send-discipline" ]
+  | "domains" -> [ "domain-safety" ]
+  | "alloc" -> [ "hot-alloc" ]
+  | "widths" -> [ "width-trunc"; "width-range"; "codec-mismatch" ]
+  | "bandwidth" -> [ "bandwidth-sound"; "bandwidth-charge" ]
+  | _ -> []
 
 let rec collect path acc =
   if Sys.is_directory path then
@@ -53,7 +76,10 @@ let () =
   let effects_out = ref "" in
   let domains_out = ref "" in
   let alloc_out = ref "" in
+  let widths_out = ref "" in
+  let bandwidth_out = ref "" in
   let bench_out = ref "" in
+  let only = ref "" in
   let update_baseline = ref false in
   let paths = ref [] in
   let spec =
@@ -77,6 +103,15 @@ let () =
       ( "--alloc-out",
         Arg.Set_string alloc_out,
         "FILE write the [@@hot] allocation-site report as JSON" );
+      ( "--widths-out",
+        Arg.Set_string widths_out,
+        "FILE write the codec width/symmetry certificate as JSON" );
+      ( "--bandwidth-out",
+        Arg.Set_string bandwidth_out,
+        "FILE write the per-algorithm bandwidth verdict table as JSON" );
+      ( "--only",
+        Arg.Set_string only,
+        "PASS run exactly one pass (rules|interproc|domains|alloc|widths|bandwidth)" );
       ( "--bench-out",
         Arg.Set_string bench_out,
         "FILE write a BENCH_lint.json timing row (certifier wall-clock)" );
@@ -99,6 +134,17 @@ let () =
   end;
   if !update_baseline && !baseline_path = "" then begin
     prerr_endline "lint: --update-baseline requires --baseline FILE";
+    exit 2
+  end;
+  if !only <> "" && not (List.mem !only passes) then begin
+    (* same field-naming contract as the CLIs: name the bad value and
+       enumerate what would have been accepted *)
+    Printf.eprintf "lint: --only: unknown pass %S (expected one of %s)\n" !only
+      (String.concat ", " passes);
+    exit 2
+  end;
+  if !only <> "" && !update_baseline then begin
+    prerr_endline "lint: --only cannot be combined with --update-baseline";
     exit 2
   end;
   let files =
@@ -124,13 +170,16 @@ let () =
     files;
   if !broken then exit 2;
   let parsed = List.rev !parsed in
+  let run pass = !only = "" || !only = pass in
   let findings =
-    (* linear accumulation: rev_append per file, one final rev *)
-    List.fold_left
-      (fun acc (file, structure) ->
-        List.rev_append (Lint_core.lint_structure ~file structure) acc)
-      [] parsed
-    |> List.rev
+    if not (run "rules") then []
+    else
+      (* linear accumulation: rev_append per file, one final rev *)
+      List.fold_left
+        (fun acc (file, structure) ->
+          List.rev_append (Lint_core.lint_structure ~file structure) acc)
+        [] parsed
+      |> List.rev
   in
   let write_out path json =
     if path <> "" then begin
@@ -139,32 +188,78 @@ let () =
     end
   in
   let started = Unix.gettimeofday () in
+  let interproc_wanted =
+    !interproc
+    && List.exists run [ "interproc"; "domains"; "alloc"; "widths"; "bandwidth" ]
+  in
   let findings =
-    if not !interproc then findings
+    if not interproc_wanted then findings
     else begin
       let cg = Callgraph.build parsed in
-      if !effects_out <> "" then
+      if !effects_out <> "" && run "interproc" then
         write_out !effects_out (Effects.to_json cg (Effects.summarize cg));
-      if !domains_out <> "" then write_out !domains_out (Domains.to_json cg (Domains.report cg));
-      let hot = Alloc.analyze cg in
-      if !alloc_out <> "" then write_out !alloc_out (Alloc.to_json hot);
+      if !domains_out <> "" && run "domains" then
+        write_out !domains_out (Domains.to_json cg (Domains.report cg));
+      let hot = if run "alloc" then Alloc.analyze cg else [] in
+      if !alloc_out <> "" && run "alloc" then write_out !alloc_out (Alloc.to_json hot);
+      let timed f = let t0 = Unix.gettimeofday () in let r = f () in (r, Unix.gettimeofday () -. t0) in
+      let widths_report, widths_wall =
+        if run "widths" then timed (fun () -> Some (Widths.analyze cg)) else (None, 0.)
+      in
+      (match widths_report with
+      | Some r when !widths_out <> "" -> write_out !widths_out (Widths.to_json r)
+      | _ -> ());
+      let bandwidth_report, bandwidth_wall =
+        if run "bandwidth" then timed (fun () -> Some (Bandwidth.analyze cg parsed))
+        else (None, 0.)
+      in
+      (match bandwidth_report with
+      | Some r when !bandwidth_out <> "" -> write_out !bandwidth_out (Bandwidth.to_json r)
+      | _ -> ());
       if !bench_out <> "" then begin
         let wall = Unix.gettimeofday () -. started in
+        let rows =
+          [
+            Printf.sprintf
+              "{\"experiment\": \"lint\", \"files\": %d, \"bindings\": %d, \"callbacks\": \
+               %d, \"hot_functions\": %d, \"wall_s\": %.3f}"
+              (List.length cg.Callgraph.files)
+              (List.length cg.Callgraph.order)
+              (List.length cg.Callgraph.callbacks)
+              (List.length hot) wall;
+          ]
+          @ (match widths_report with
+            | Some r ->
+                [
+                  Printf.sprintf
+                    "{\"experiment\": \"lint-widths\", \"put_sites\": %d, \"get_sites\": \
+                     %d, \"pairs\": %d, \"wall_s\": %.3f}"
+                    r.Widths.w_puts r.Widths.w_gets
+                    (List.length r.Widths.w_pairs)
+                    widths_wall;
+                ]
+            | None -> [])
+          @
+          match bandwidth_report with
+          | Some r ->
+              [
+                Printf.sprintf
+                  "{\"experiment\": \"lint-bandwidth\", \"candidates\": %d, \
+                   \"charge_sites\": %d, \"wall_s\": %.3f}"
+                  (List.length r.Bandwidth.b_verdicts)
+                  r.Bandwidth.b_charge_sites bandwidth_wall;
+              ]
+          | None -> []
+        in
         write_out !bench_out
-          (Printf.sprintf
-             "{\n\
-             \  \"rows\": [\n\
-             \    {\"experiment\": \"lint\", \"files\": %d, \"bindings\": %d, \"callbacks\": \
-              %d, \"hot_functions\": %d, \"wall_s\": %.3f}\n\
-             \  ]\n\
-              }\n"
-             (List.length cg.Callgraph.files)
-             (List.length cg.Callgraph.order)
-             (List.length cg.Callgraph.callbacks)
-             (List.length hot) wall)
+          (Printf.sprintf "{\n  \"rows\": [\n    %s\n  ]\n}\n" (String.concat ",\n    " rows))
       end;
-      findings @ Interproc.findings cg @ Domains.findings cg
+      findings
+      @ (if run "interproc" then Interproc.findings cg else [])
+      @ (if run "domains" then Domains.findings cg else [])
       @ Alloc.findings_of_reports hot
+      @ (match widths_report with Some r -> Widths.findings_of_report r | None -> [])
+      @ match bandwidth_report with Some r -> Bandwidth.findings_of_report r | None -> []
     end
   in
   let baseline_entries =
@@ -177,6 +272,16 @@ let () =
         | Error msgs ->
             List.iter prerr_endline msgs;
             exit 2)
+  in
+  (* under --only, baseline entries owned by the passes that did not run
+     are set aside: they are neither suppressing nor stale *)
+  let baseline_entries =
+    if !only = "" then baseline_entries
+    else
+      List.filter
+        (fun (e : Lint_core.baseline_entry) ->
+          List.mem e.Lint_core.b_rule (pass_rules !only))
+        baseline_entries
   in
   if !update_baseline then begin
     let text = Lint_core.render_baseline ~old:baseline_entries findings in

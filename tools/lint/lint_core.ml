@@ -54,10 +54,37 @@ let rules =
       "interprocedural: a [@@hot] function allocates (closure, tuple/record/variant box, \
        float box, partial application, or allocating callee) — the static form of the \
        EObs Gc.minor_words = 0 guarantee" );
+    ( "width-trunc",
+      "interval analysis: a value written by Bitio.put may exceed 2^bits - 1 — the field \
+       would silently truncate and the codec return a wrong value, not an error" );
+    ( "width-range",
+      "interval analysis: a ~bits width expression may leave [0, 30], the range Bitio \
+       accepts" );
+    ( "codec-mismatch",
+      "a Codec writer/reader pair disagrees on field order or widths after symbolic trace \
+       normalization — the bit-packed format has no in-band typing to catch this at runtime" );
+    ( "bandwidth-sound",
+      "a message module's `words` may undercharge its statically bounded content: every \
+       accepted word must be accounted for the CONGEST O(log n)-bit budget to mean anything" );
+    ( "bandwidth-charge",
+      "a Metrics.add_words / add_checkpoint_words caller is not an audited [@@charge_site] \
+       or charges a measure not derived from M.words / Array.length" );
   ]
 
 let rule_ids = List.map fst rules
-let interproc_rule_ids = [ "node-locality"; "send-discipline"; "domain-safety"; "hot-alloc" ]
+
+let interproc_rule_ids =
+  [
+    "node-locality";
+    "send-discipline";
+    "domain-safety";
+    "hot-alloc";
+    "width-trunc";
+    "width-range";
+    "codec-mismatch";
+    "bandwidth-sound";
+    "bandwidth-charge";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping *)
@@ -87,6 +114,9 @@ let applies rule file =
   match rule with
   | "lib-abort" -> under "lib" file
   | "poly-compare" | "hashtbl-order" -> under "lib/congest" file
+  (* the charging-path audit binds library code only: CLIs do
+     coordinator-side reporting, not per-message accounting *)
+  | "bandwidth-charge" -> under "lib" file
   | _ -> true (* node-locality and send-discipline bind wherever nodes run *)
 
 (* ------------------------------------------------------------------ *)

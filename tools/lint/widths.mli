@@ -1,0 +1,55 @@
+(** Width-soundness pass over the bit-packed codec (DESIGN.md §3i).
+
+    An interval abstract interpretation over every linted [.ml] that
+    infers value ranges for the ints flowing into [Bitio.put ~bits] /
+    [Bitio.get ~bits], and a symbolic trace extractor that certifies
+    reader/writer symmetry for every [Codec]-style encode/decode pair.
+
+    Three rules:
+    - [width-trunc] — a written value's inferred range (or symbolic
+      bound) may exceed [2^bits - 1]: the write would silently truncate.
+      The finding prints the full data-flow chain of the value.
+    - [width-range] — a width expression may leave [[0, 30]], the range
+      [Bitio] accepts.
+    - [codec-mismatch] — a writer/reader pair (matched by naming
+      convention: [write_]/[read_], [encode_]/[decode_], [put_]/[get_],
+      [save_]/[load_], within one file) disagrees on field order or
+      width expressions after normalization.
+
+    The abstract domain is a saturating interval extended with three
+    symbolic certificates that survive where plain intervals lose: value
+    [= 2^w - 1] for a width variable [w] (sentinel masks), value
+    [<= !m + k] for a max-fold accumulator [m] (field bounds), and width
+    [w] with [2^w - 1 >= !m + j] from [Bitio.bits_needed] (computed
+    widths). Divergence guards ([if bad then invalid_arg ...]) refine
+    the rest of the sequence, so codec-side range guards discharge
+    obligations. Soundness caveats are documented in DESIGN.md §3i. *)
+
+type report = {
+  w_findings : Lint_core.finding list;
+  w_pairs : pair list;
+  w_puts : int;  (** [Bitio.put]/[put_varint] sites certified *)
+  w_gets : int;  (** [Bitio.get]/[get_varint] sites certified *)
+}
+
+and pair = {
+  p_writer : Callgraph.sym;
+  p_reader : Callgraph.sym;
+  p_wtrace : string;  (** canonical field trace, e.g. [f6 f[w0|d:0] ...] *)
+  p_rtrace : string;
+  p_symmetric : bool;
+  p_line : int;
+}
+
+val analyze : Callgraph.t -> report
+
+(** Findings only, in deterministic (file, line, col, message) order. *)
+val findings : Callgraph.t -> Lint_core.finding list
+
+val findings_of_report : report -> Lint_core.finding list
+
+(** [(writer, reader, symmetric)] display triples, in source order. *)
+val pairs : report -> (string * string * bool) list
+
+(** The machine-readable report ([_build/default/analysis/widths.json]). *)
+val to_json : report -> string
